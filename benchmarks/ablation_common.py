@@ -1,0 +1,32 @@
+"""Shared configuration for ablation benchmarks.
+
+Ablations need their own simulations (they change the config), so they
+run at a medium scale: one simulated year, reduced arrival and query
+rates.  ``REPRO_BENCH_FAST=1`` shrinks them further.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.config import PopulationConfig, QueryConfig, SimulationConfig
+from repro.simulator.cache import cached_simulation
+
+__all__ = ["ablation_config", "ablation_sim"]
+
+
+def ablation_config(seed: int = 20170202) -> SimulationConfig:
+    if os.environ.get("REPRO_BENCH_FAST"):
+        days, regs, auctions = 120, 12.0, 60
+    else:
+        days, regs, auctions = 240, 16.0, 120
+    return SimulationConfig(
+        seed=seed,
+        days=days,
+        population=PopulationConfig(registrations_per_day=regs),
+        query=QueryConfig(auctions_per_day=auctions, volume_weight=1500.0),
+    )
+
+
+def ablation_sim(config: SimulationConfig):
+    return cached_simulation(config)

@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+One full-scale (two-year) simulation is run once per session and shared
+by every figure/table benchmark; each benchmark then measures the cost
+of regenerating its paper artifact from the logs.
+
+Set ``REPRO_BENCH_FAST=1`` to use the small test-scale configuration
+(useful while iterating; the shipped numbers use the full scale).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import default_config, small_config
+from repro.experiments import ExperimentContext
+from repro.simulator.cache import cached_simulation
+
+
+def bench_config():
+    if os.environ.get("REPRO_BENCH_FAST"):
+        return small_config(seed=7, days=120)
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def bench_context():
+    config = bench_config()
+    result = cached_simulation(config)
+    return ExperimentContext(config, result=result)

@@ -1,0 +1,44 @@
+"""Ablation -- detection pipeline aggressiveness (DESIGN.md section 4).
+
+Weakening the whole pipeline (registration screen, content filter, and
+the behavioural/rate hazards) must lengthen fraud lifetimes (Figure 2
+shifts right) and raise fraud's share of marketplace impressions.
+"""
+
+from repro.analysis.lifetimes import fraud_lifetimes
+from repro.simulator.cache import cached_simulation
+
+from ablation_common import ablation_config
+
+
+def _run(scale: float):
+    """Simulate with every detection stage scaled by ``scale``."""
+    config = ablation_config()
+    detection = config.detection
+    config = config.with_detection(
+        registration_screen_prob=min(0.9, detection.registration_screen_prob * scale),
+        content_filter_prob=min(0.95, detection.content_filter_prob * scale),
+        behavior_hazard=detection.behavior_hazard * scale,
+        prolific_behavior_hazard=detection.prolific_behavior_hazard * scale,
+        rate_hazard_per_decade=detection.rate_hazard_per_decade * scale,
+    )
+    result = cached_simulation(config)
+    curve = fraud_lifetimes(result)["Year 1 (account)"]
+    table = result.impressions
+    fraud_share = float(
+        table.weight[table.fraud_labeled].sum() / max(1.0, table.weight.sum())
+    )
+    return curve.median, curve.quantile(0.75), fraud_share
+
+
+def test_ablation_detection_strength(benchmark):
+    base_median, base_p75, base_share = benchmark.pedantic(
+        _run, args=(1.0,), rounds=1, iterations=1
+    )
+    weak_median, weak_p75, weak_share = _run(0.3)
+    print(f"\nlifetime median/p75: baseline={base_median:.2f}/{base_p75:.2f}d "
+          f"weak-detection={weak_median:.2f}/{weak_p75:.2f}d; "
+          f"fraud impression share: {base_share:.4f} -> {weak_share:.4f}")
+    assert weak_median > base_median
+    assert weak_p75 > base_p75
+    assert weak_share > base_share

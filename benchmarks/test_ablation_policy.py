@@ -1,0 +1,35 @@
+"""Ablation -- the tech-support policy ban (DESIGN.md section 4).
+
+Figure 8's collapse must disappear when the ban is disabled: the
+intervention, not background detection, kills the vertical.
+"""
+
+from repro.analysis.verticals import vertical_spend_by_month
+from repro.simulator.cache import cached_simulation
+
+from ablation_common import ablation_config
+
+
+def _techsupport_tail_share(ban: bool) -> float:
+    config = ablation_config()
+    ban_day = config.days * 0.5 if ban else None
+    config = config.with_detection(techsupport_ban_day=ban_day)
+    result = cached_simulation(config)
+    series = vertical_spend_by_month(result).series["techsupport"]
+    half = len(series) // 2
+    before = series[:half].sum()
+    after = series[half + 1 :].sum()
+    if before + after <= 0:
+        return 0.0
+    return after / (before + after)
+
+
+def test_ablation_policy_ban(benchmark):
+    banned_tail = benchmark.pedantic(
+        _techsupport_tail_share, args=(True,), rounds=1, iterations=1
+    )
+    unbanned_tail = _techsupport_tail_share(False)
+    print(f"\ntechsupport post-midpoint spend share: "
+          f"ban={banned_tail:.3f} no-ban={unbanned_tail:.3f}")
+    # The ban must collapse the vertical's later spend share.
+    assert banned_tail < unbanned_tail

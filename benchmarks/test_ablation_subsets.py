@@ -1,0 +1,50 @@
+"""Ablation -- matched subset sampling (DESIGN.md section 4).
+
+Section 3.3's matched subsets correct for demographic differences
+before behavioural comparison.  Figure 7's caption makes the point that
+the ads/keywords gap is *greatest* "when compared to advertisers
+posting at similar rates to fraudulent advertisers": rate-matching
+selects high-volume legitimate accounts, whose footprints dwarf
+fraud's small, deliberately quiet inventories.  A uniform comparison
+understates the effect.
+"""
+
+import numpy as np
+
+from repro.analysis.subsets import SubsetBuilder
+from repro.simulator.cache import cached_simulation
+from repro.timeline import Window
+
+from ablation_common import ablation_config
+
+
+def _footprint_gaps():
+    config = ablation_config()
+    result = cached_simulation(config)
+    window = Window(config.days * 0.25, config.days * 0.75, "ablation")
+    builder = SubsetBuilder(result, window, target_size=2000)
+    fraud = builder.build("F volume weight")
+    uniform = builder.build("NF with clicks")
+    matched = builder.build("NF rate match")
+
+    def median_keywords(subset):
+        return float(np.median([a.n_keywords for a in subset.accounts]))
+
+    fraud_kws = max(1.0, median_keywords(fraud))
+    return (
+        median_keywords(uniform) / fraud_kws,
+        median_keywords(matched) / fraud_kws,
+    )
+
+
+def test_ablation_subset_matching(benchmark):
+    uniform_gap, matched_gap = benchmark.pedantic(
+        _footprint_gaps, rounds=1, iterations=1
+    )
+    print(f"\nNF/F median keyword gap: uniform={uniform_gap:.1f}x "
+          f"rate-matched={matched_gap:.1f}x")
+    # The gap is an order of magnitude either way, and matching against
+    # similar-rate legitimate advertisers makes it *larger* -- the
+    # paper's Figure 7 observation.
+    assert uniform_gap > 1.0
+    assert matched_gap >= uniform_gap

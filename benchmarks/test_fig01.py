@@ -1,0 +1,14 @@
+"""Benchmark -- Figure 1: fraud share of registrations over time.
+
+Measures regenerating the artifact from the shared two-year simulation
+logs, prints the reproduced rows/series, and sanity-checks the shape.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig01(benchmark, bench_context):
+    output = benchmark(run_experiment, "fig1", bench_context)
+    print()
+    print(output.render())
+    assert 0.2 < output.metrics['mean_share_first_half'] < 0.7

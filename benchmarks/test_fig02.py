@@ -1,0 +1,14 @@
+"""Benchmark -- Figure 2: fraud account lifetime CDFs.
+
+Measures regenerating the artifact from the shared two-year simulation
+logs, prints the reproduced rows/series, and sanity-checks the shape.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig02(benchmark, bench_context):
+    output = benchmark(run_experiment, "fig2", bench_context)
+    print()
+    print(output.render())
+    assert output.metrics['median_lifetime_from_registration_y1'] < 2.0

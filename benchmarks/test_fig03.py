@@ -1,0 +1,14 @@
+"""Benchmark -- Figure 3: weekly fraud activity, in/out of window.
+
+Measures regenerating the artifact from the shared two-year simulation
+logs, prints the reproduced rows/series, and sanity-checks the shape.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig03(benchmark, bench_context):
+    output = benchmark(run_experiment, "fig3", bench_context)
+    print()
+    print(output.render())
+    assert output.metrics['late_over_early_spend'] < 1.2

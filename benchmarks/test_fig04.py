@@ -1,0 +1,14 @@
+"""Benchmark -- Figure 4: fraud spend/click concentration.
+
+Measures regenerating the artifact from the shared two-year simulation
+logs, prints the reproduced rows/series, and sanity-checks the shape.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig04(benchmark, bench_context):
+    output = benchmark(run_experiment, "fig4", bench_context)
+    print()
+    print(output.render())
+    assert output.metrics.get('top10pct_click_share', 1.0) > 0.3

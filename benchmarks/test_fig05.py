@@ -1,0 +1,14 @@
+"""Benchmark -- Figure 5: impression-rate CDFs.
+
+Measures regenerating the artifact from the shared two-year simulation
+logs, prints the reproduced rows/series, and sanity-checks the shape.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig05(benchmark, bench_context):
+    output = benchmark(run_experiment, "fig5", bench_context)
+    print()
+    print(output.render())
+    assert output.metrics['median_ratio'] > 1.5

@@ -1,0 +1,14 @@
+"""Benchmark -- Figure 7: ads/keywords created and modified.
+
+Measures regenerating the artifact from the shared two-year simulation
+logs, prints the reproduced rows/series, and sanity-checks the shape.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig07(benchmark, bench_context):
+    output = benchmark(run_experiment, "fig7", bench_context)
+    print()
+    print(output.render())
+    assert output.metrics['nf_over_f_median_keywords'] > 3

@@ -1,0 +1,14 @@
+"""Benchmark -- Figure 8: fraud spend per vertical over time.
+
+Measures regenerating the artifact from the shared two-year simulation
+logs, prints the reproduced rows/series, and sanity-checks the shape.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig08(benchmark, bench_context):
+    output = benchmark(run_experiment, "fig8", bench_context)
+    print()
+    print(output.render())
+    assert output.charts

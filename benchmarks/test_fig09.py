@@ -1,0 +1,14 @@
+"""Benchmark -- Figure 9: match-type mixes and bid levels.
+
+Measures regenerating the artifact from the shared two-year simulation
+logs, prints the reproduced rows/series, and sanity-checks the shape.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig09(benchmark, bench_context):
+    output = benchmark(run_experiment, "fig9", bench_context)
+    print()
+    print(output.render())
+    assert 0 <= output.metrics['above_default_both_fraud'] <= 1

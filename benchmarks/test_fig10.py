@@ -1,0 +1,14 @@
+"""Benchmark -- Figure 10: impressions affected by fraud competition.
+
+Measures regenerating the artifact from the shared two-year simulation
+logs, prints the reproduced rows/series, and sanity-checks the shape.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig10(benchmark, bench_context):
+    output = benchmark(run_experiment, "fig10", bench_context)
+    print()
+    print(output.render())
+    assert output.metrics['f_median_affected'] >= output.metrics['nf_median_affected']

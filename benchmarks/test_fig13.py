@@ -1,0 +1,14 @@
+"""Benchmark -- Figure 13: fraud ad position, organic vs influenced.
+
+Measures regenerating the artifact from the shared two-year simulation
+logs, prints the reproduced rows/series, and sanity-checks the shape.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig13(benchmark, bench_context):
+    output = benchmark(run_experiment, "fig13", bench_context)
+    print()
+    print(output.render())
+    assert output.charts

@@ -1,0 +1,14 @@
+"""Benchmark -- Figure 17: fraud CPC under fraud competition.
+
+Measures regenerating the artifact from the shared two-year simulation
+logs, prints the reproduced rows/series, and sanity-checks the shape.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig17(benchmark, bench_context):
+    output = benchmark(run_experiment, "fig17", bench_context)
+    print()
+    print(output.render())
+    assert output.metrics['cpc_norm_usd'] > 0

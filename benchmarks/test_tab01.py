@@ -1,0 +1,14 @@
+"""Benchmark -- Table 1: top fraud registration countries.
+
+Measures regenerating the artifact from the shared two-year simulation
+logs, prints the reproduced rows/series, and sanity-checks the shape.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_tab01(benchmark, bench_context):
+    output = benchmark(run_experiment, "tab1", bench_context)
+    print()
+    print(output.render())
+    assert output.tables

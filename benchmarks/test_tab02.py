@@ -1,0 +1,14 @@
+"""Benchmark -- Table 2: example ads per category.
+
+Measures regenerating the artifact from the shared two-year simulation
+logs, prints the reproduced rows/series, and sanity-checks the shape.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_tab02(benchmark, bench_context):
+    output = benchmark(run_experiment, "tab2", bench_context)
+    print()
+    print(output.render())
+    assert output.metrics['n_categories'] == 5.0

@@ -1,0 +1,14 @@
+"""Benchmark -- Table 3: country distribution of fraud clicks.
+
+Measures regenerating the artifact from the shared two-year simulation
+logs, prints the reproduced rows/series, and sanity-checks the shape.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_tab03(benchmark, bench_context):
+    output = benchmark(run_experiment, "tab3", bench_context)
+    print()
+    print(output.render())
+    assert output.metrics['top_country_share_of_fraud'] > 0.3

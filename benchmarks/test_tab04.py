@@ -1,0 +1,14 @@
+"""Benchmark -- Table 4: click share by match type.
+
+Measures regenerating the artifact from the shared two-year simulation
+logs, prints the reproduced rows/series, and sanity-checks the shape.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_tab04(benchmark, bench_context):
+    output = benchmark(run_experiment, "tab4", bench_context)
+    print()
+    print(output.render())
+    assert 0 <= output.metrics['fraud_phrase_share'] <= 1

@@ -1,0 +1,66 @@
+"""Detection tuning: the aggressiveness / fraud-loss tradeoff.
+
+Sweeps the behavioural detection hazards and reports how fraud account
+lifetimes and the platform's fraud exposure (fraud share of clicks and
+spend) respond -- the tradeoff a real trust-and-safety team tunes.
+
+Run:
+    python examples/detection_tuning.py
+"""
+
+import numpy as np
+
+from repro import run_simulation, small_config
+from repro.analysis.lifetimes import fraud_lifetimes
+from repro.plotting import render_series_table
+
+
+def run_at(hazard_scale: float):
+    config = small_config(seed=77, days=150)
+    detection = config.detection
+    config = config.with_detection(
+        behavior_hazard=detection.behavior_hazard * hazard_scale,
+        prolific_behavior_hazard=detection.prolific_behavior_hazard
+        * hazard_scale,
+        rate_hazard_per_decade=detection.rate_hazard_per_decade * hazard_scale,
+        content_filter_prob=min(
+            0.95, detection.content_filter_prob * hazard_scale
+        ),
+    )
+    result = run_simulation(config)
+    table = result.impressions
+    fraud_clicks = table.clicks[table.fraud_labeled].sum()
+    fraud_spend = table.spend[table.fraud_labeled].sum()
+    curve = fraud_lifetimes(result)["Year 1 (account)"]
+    return {
+        "median_lifetime": curve.median if len(curve) else float("nan"),
+        "fraud_click_share": fraud_clicks / max(1.0, table.clicks.sum()),
+        "fraud_spend_share": fraud_spend / max(1.0, table.spend.sum()),
+    }
+
+
+def main() -> None:
+    rows = []
+    for scale in (0.25, 0.5, 1.0, 2.0, 4.0):
+        print(f"running with detection strength x{scale} ...")
+        stats = run_at(scale)
+        rows.append([
+            f"x{scale}",
+            f"{stats['median_lifetime']:.2f} d",
+            f"{100 * stats['fraud_click_share']:.2f}%",
+            f"{100 * stats['fraud_spend_share']:.2f}%",
+        ])
+    print()
+    print(render_series_table(
+        ["strength", "median fraud lifetime", "fraud click share",
+         "fraud spend share"],
+        rows,
+        "Detection aggressiveness sweep",
+    ))
+    print("Stronger detection shortens fraud lifetimes and shrinks the "
+          "platform's fraud exposure, with diminishing returns -- the "
+          "paper's Section 7 diagnosis.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Policy intervention study: the third-party tech-support ban.
+
+Section 7 argues targeted policy changes are the most effective fraud
+instrument the platform has.  This example runs the same marketplace
+twice -- with and without the ban -- and compares the tech-support
+vertical's fraudulent spend trajectory (Figure 8's signature collapse).
+
+Run:
+    python examples/policy_intervention.py
+"""
+
+import numpy as np
+
+from repro import run_simulation, small_config
+from repro.analysis.verticals import vertical_spend_by_month
+from repro.plotting import render_lines
+
+
+def techsupport_series(ban_day):
+    config = small_config(seed=1009, days=240)
+    config = config.with_detection(techsupport_ban_day=ban_day)
+    result = run_simulation(config)
+    series = vertical_spend_by_month(result)
+    return np.asarray(series.series["techsupport"])
+
+
+def main() -> None:
+    ban_day = 120.0
+    print("running marketplace WITH the tech-support ban ...")
+    banned = techsupport_series(ban_day)
+    print("running marketplace WITHOUT the ban ...")
+    unbanned = techsupport_series(None)
+
+    months = np.arange(len(banned), dtype=float)
+    print()
+    print(render_lines(
+        {
+            "with ban (day 120)": (months, banned),
+            "without ban": (months, unbanned),
+        },
+        "Monthly fraudulent tech-support spend (normalized)",
+        xlabel="month",
+        ylabel="normalized spend",
+    ))
+
+    half = len(banned) // 2
+    def tail_share(series):
+        total = series.sum()
+        return series[half:].sum() / total if total > 0 else 0.0
+
+    print(f"post-midpoint spend share: with ban {tail_share(banned):.1%}, "
+          f"without ban {tail_share(unbanned):.1%}")
+    print("The ban collapses the vertical; background detection alone "
+          "does not.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Quickstart: simulate a small marketplace and reproduce two artifacts.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import run_simulation, small_config
+from repro.analysis import (
+    SubsetBuilder,
+    clicks_by_match_type,
+    fraud_lifetimes,
+    preads_shutdown_share,
+)
+from repro.plotting import render_cdfs, render_series_table
+from repro.timeline import Window
+
+
+def main() -> None:
+    config = small_config(seed=42, days=120)
+    print(f"simulating {config.days} days ...")
+    result = run_simulation(config)
+
+    fraud = result.fraud_accounts()
+    print(f"accounts: {len(result.accounts)}  "
+          f"labeled fraud: {len(fraud)}  "
+          f"impression rows: {len(result.impressions)}")
+    print(f"share of fraud shutdowns before any ad: "
+          f"{preads_shutdown_share(result):.0%}")
+
+    # Figure 2: fraud account lifetimes.
+    curves = fraud_lifetimes(result)
+    populated = {k: v for k, v in curves.curves.items() if len(v) > 0}
+    print()
+    print(render_cdfs(populated, "Fraud account lifetimes (days)", logx=True,
+                      xlabel="days"))
+
+    # Table 4: click share by match type.
+    window = Window(30.0, 120.0, "demo window")
+    rows = [
+        [r.match_type, f"{100 * r.fraud_click_share:.1f}%",
+         f"{100 * r.nonfraud_click_share:.1f}%"]
+        for r in clicks_by_match_type(result, window)
+    ]
+    print(render_series_table(
+        ["match type", "fraud clicks", "non-fraud clicks"], rows,
+        "Click share by match type",
+    ))
+
+    # Build the paper's subsets for further analysis.
+    subsets = SubsetBuilder(result, window, target_size=500).build_many()
+    print("subset sizes:",
+          {name: len(subset) for name, subset in subsets.items()})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,174 @@
+"""Calibration report: paper targets vs measured values.
+
+Run after any behavioural/detection parameter change:
+
+    python scripts/calibration_report.py [--small]
+
+Prints the headline quantities behind every figure/table next to the
+paper's reported values so drift is visible at a glance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import default_config, small_config, run_simulation
+from repro.analysis import (
+    CompetitionAnalyzer,
+    SubsetBuilder,
+    above_default_share,
+    clicks_by_match_type,
+    fraud_clicks_by_country,
+    fraud_lifetimes,
+    impression_rates,
+    preads_shutdown_share,
+    registration_country_table,
+    top_position_probability,
+    top_share,
+    weekly_fraud_activity,
+)
+from repro.analysis.aggregates import aggregate_by_advertiser
+from repro.timeline import quarter_window
+
+
+def line(label: str, paper: str, measured: str) -> None:
+    print(f"  {label:<46} paper: {paper:<16} measured: {measured}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--small", action="store_true")
+    args = parser.parse_args()
+    config = small_config(days=240) if args.small else default_config()
+    t0 = time.time()
+    result = run_simulation(config)
+    print(f"simulated {config.days} days in {time.time() - t0:.0f}s; "
+          f"{len(result.impressions)} impression rows")
+
+    table = result.impressions
+    fraud_rows = table.fraud_labeled
+    print("\n== Scale (Sec 4) ==")
+    reg_fraud = [a for a in result.accounts if a.labeled_fraud]
+    line("fraud share of registrations", "0.33-0.55",
+         f"{len(reg_fraud) / len(result.accounts):.2f}")
+    line("pre-ad share of fraud shutdowns", "0.35",
+         f"{preads_shutdown_share(result):.2f}")
+    lts = fraud_lifetimes(result)
+    line("median lifetime from registration (Y1)", "<1 day",
+         f"{lts['Year 1 (account)'].median:.2f}")
+    line("median lifetime from first ad (Y1)", "~0.3 (8h)",
+         f"{lts['Year 1 (ad)'].median:.2f}")
+    line("p90 lifetime from first ad (Y1)", "<=4 days",
+         f"{lts['Year 1 (ad)'].quantile(0.9):.1f}")
+    line("fraud click share (all)", "~0.01-0.03",
+         f"{table.clicks[fraud_rows].sum() / max(1, table.clicks.sum()):.4f}")
+    line("fraud spend share (all)", "~0.01-0.03",
+         f"{table.spend[fraud_rows].sum() / max(1, table.spend.sum()):.4f}")
+    act = weekly_fraud_activity(result)
+    half = len(act.spend_in_window) // 2
+    early = act.spend_in_window[4:half].mean()
+    late = act.spend_in_window[half:-2].mean()
+    line("late/early fraud spend ratio (fig3)", "~0.5",
+         f"{late / max(early, 1e-9):.2f}")
+
+    window = quarter_window(1, 2) if not args.small else quarter_window(1, 2)
+    wtab = table.in_window(window.start, window.end)
+    agg = aggregate_by_advertiser(wtab, wtab.fraud_labeled)
+    if len(agg):
+        line("top-10% fraud click share (fig4)", ">0.95",
+             f"{top_share(agg.clicks):.3f}")
+        line("top-10% fraud spend share (fig4)", "0.8-0.9",
+             f"{top_share(agg.spend):.3f}")
+
+    print("\n== Rates / targeting (Sec 5) ==")
+    rates = impression_rates(result, window)
+    line("fraud/nonfraud median rate ratio (fig5)", ">3x",
+         f"{rates.fraud.median / max(rates.nonfraud.median, 1e-9):.1f}")
+    builder = SubsetBuilder(result, window, target_size=10_000)
+    subsets = builder.build_many()
+    for name in subsets:
+        pass
+    f_clicks = subsets["F with clicks"]
+    nf_clicks = subsets["NF with clicks"]
+    f_ads = np.median([a.n_ads for a in f_clicks.accounts])
+    nf_ads = np.median([a.n_ads for a in nf_clicks.accounts])
+    f_kw = np.median([a.n_keywords for a in f_clicks.accounts])
+    nf_kw = np.median([a.n_keywords for a in nf_clicks.accounts])
+    line("NF/F median ads ratio (fig7)", ">10x", f"{nf_ads / max(f_ads, 1):.1f}")
+    line("NF/F median keywords ratio (fig7)", ">10x", f"{nf_kw / max(f_kw, 1):.1f}")
+
+    t1 = registration_country_table(
+        {k: subsets[k] for k in ("Fraud", "F with clicks")}
+    )
+    line("tab1 top countries (Fraud)", "US 50 IN 17 GB 14",
+         " ".join(f"{c} {p:.0f}" for c, p in t1["Fraud"][:3]))
+
+    t3 = fraud_clicks_by_country(result, window)
+    line("tab3 fraud click countries", "US 61 BR 10 DE 10",
+         " ".join(f"{r.country} {100 * r.share_of_fraud:.0f}" for r in t3[:4]))
+    worst = max(t3, key=lambda r: r.share_of_country)
+    line("tab3 dirtiest country", "BR <6%",
+         f"{worst.country} {100 * worst.share_of_country:.1f}%")
+
+    t4 = clicks_by_match_type(result, window)
+    line("tab4 fraud click mix e/p/b", "62/31/7",
+         "/".join(f"{100 * r.fraud_click_share:.0f}" for r in t4))
+    line("tab4 nonfraud click mix e/p/b", "68/23/9",
+         "/".join(f"{100 * r.nonfraud_click_share:.0f}" for r in t4))
+    line("above-default both e&p (F)", "0.17",
+         f"{above_default_share(f_clicks):.2f}")
+    line("above-default both e&p (NF)", "~0.34",
+         f"{above_default_share(nf_clicks):.2f}")
+
+    print("\n== Competition (Sec 6) ==")
+    analyzer = CompetitionAnalyzer(result, window)
+    from repro.analysis import affected_share_distributions
+    aff = affected_share_distributions(
+        analyzer, {"F with clicks": f_clicks, "NF with clicks": nf_clicks}
+    )
+    line("median NF impressions affected (fig10)", "<0.006",
+         f"{aff.curves['NF with clicks'].median:.4f}")
+    line("p95 NF impressions affected (fig10)", "<0.20",
+         f"{aff.curves['NF with clicks'].quantile(0.95):.3f}")
+    line("median F impressions affected (fig10)", ">0.90",
+         f"{aff.curves['F with clicks'].median:.3f}")
+    aff_spend = affected_share_distributions(
+        analyzer, {"F with clicks": f_clicks}, by="spend"
+    )
+    line("F spend affected (fig11)", "~0.99 mass",
+         f"{aff_spend.curves['F with clicks'].median:.3f}")
+
+    top_org = top_position_probability(analyzer, nf_clicks, influenced=False)
+    top_inf = top_position_probability(analyzer, nf_clicks, influenced=True)
+    line("NF top-position prob organic->influenced (fig12)", "0.20 -> 0.10",
+         f"{top_org:.2f} -> {top_inf:.2f}")
+
+    dub = CompetitionAnalyzer(result, window, dubious_only=True)
+    ctr_org = [dub.ctr(a.advertiser_id, False) for a in nf_clicks.accounts]
+    ctr_inf = [dub.ctr(a.advertiser_id, True) for a in nf_clicks.accounts]
+    ctr_org = [v for v in ctr_org if not np.isnan(v)]
+    ctr_inf = [v for v in ctr_inf if not np.isnan(v)]
+    if ctr_org and ctr_inf:
+        line("NF median CTR organic vs influenced (fig14)", "~2x drop",
+             f"{np.median(ctr_org):.4f} -> {np.median(ctr_inf):.4f}")
+    cpc_org = [dub.cpc(a.advertiser_id, False) for a in nf_clicks.accounts]
+    cpc_inf = [dub.cpc(a.advertiser_id, True) for a in nf_clicks.accounts]
+    cpc_org = [v for v in cpc_org if not np.isnan(v)]
+    cpc_inf = [v for v in cpc_inf if not np.isnan(v)]
+    if cpc_org and cpc_inf:
+        line("NF median CPC organic vs influenced (fig15)", "+5-30%",
+             f"{np.median(cpc_org):.2f} -> {np.median(cpc_inf):.2f}")
+    fcpc_org = [dub.cpc(a.advertiser_id, False) for a in f_clicks.accounts]
+    fcpc_inf = [dub.cpc(a.advertiser_id, True) for a in f_clicks.accounts]
+    fcpc_org = [v for v in fcpc_org if not np.isnan(v)]
+    fcpc_inf = [v for v in fcpc_inf if not np.isnan(v)]
+    if fcpc_org and fcpc_inf:
+        line("F median CPC organic vs influenced (fig17)", "~2x up",
+             f"{np.median(fcpc_org):.2f} -> {np.median(fcpc_inf):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Deep-dive diagnostics for fraud competition and geography."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import default_config, run_simulation
+from repro.analysis import SubsetBuilder
+from repro.analysis.aggregates import aggregate_by_advertiser
+from repro.entities.enums import AdvertiserKind
+from repro.records.codes import country_name, vertical_name
+from repro.timeline import quarter_window
+
+
+def main() -> None:
+    config = default_config()
+    result = run_simulation(config)
+    table = result.impressions
+    window = quarter_window(1, 2)
+    wtab = table.in_window(window.start, window.end)
+    kind_by_id = {a.advertiser_id: a.kind for a in result.accounts}
+
+    fraud = wtab.fraud_labeled
+    print("rows in Y1Q2:", len(wtab), " fraud rows:", int(fraud.sum()))
+
+    # Fraud rows by advertiser kind.
+    kinds = np.asarray(
+        [kind_by_id[int(i)].value for i in wtab.advertiser_id[fraud]]
+    )
+    for kind in np.unique(kinds):
+        mask = kinds == kind
+        print(
+            f"  fraud rows kind={kind}: rows={mask.sum()}, "
+            f"clicks={wtab.clicks[fraud][mask].sum():.0f}, "
+            f"spend={wtab.spend[fraud][mask].sum():.0f}"
+        )
+
+    # n_fraud_shown distribution on fraud rows.
+    vals, counts = np.unique(wtab.n_fraud_shown[fraud], return_counts=True)
+    print("  n_fraud_shown on fraud rows:", dict(zip(vals.tolist(), counts.tolist())))
+
+    # Fraud rows by vertical (top 6).
+    verts, vcounts = np.unique(wtab.vertical[fraud], return_counts=True)
+    order = np.argsort(vcounts)[::-1][:6]
+    print("  fraud rows by vertical:",
+          {vertical_name(int(verts[i])): int(vcounts[i]) for i in order})
+
+    # Fraud clicks by country.
+    ctys = np.unique(wtab.country[fraud])
+    click_by_cty = {
+        country_name(int(c)): float(wtab.clicks[fraud][wtab.country[fraud] == c].sum())
+        for c in ctys
+    }
+    total = sum(click_by_cty.values()) or 1.0
+    print("  fraud click share by country:",
+          {k: round(v / total, 3) for k, v in sorted(click_by_cty.items(), key=lambda kv: -kv[1])[:8]})
+
+    # Fraud IMPRESSION share by country (is supply there at all?)
+    imp_by_cty_f = {}
+    imp_by_cty_all = {}
+    for c in np.unique(wtab.country):
+        sel = wtab.country == c
+        imp_by_cty_all[country_name(int(c))] = float(wtab.weight[sel].sum())
+        imp_by_cty_f[country_name(int(c))] = float(wtab.weight[sel & fraud].sum())
+    print("  fraud imp penetration by country:",
+          {k: round(imp_by_cty_f[k] / max(1, imp_by_cty_all[k]), 4)
+           for k in sorted(imp_by_cty_f, key=lambda k: -imp_by_cty_f[k])[:8]})
+
+    # Campaign targeting of fraud accounts (supply side).
+    target_counts: dict[str, int] = {}
+    for a in result.accounts:
+        if a.labeled_fraud:
+            pass
+    # Approximate via account summaries' verticals? country targeting is
+    # not in summaries; use impressions instead (already above).
+
+    # F-with-clicks composition and affected shares.
+    builder = SubsetBuilder(result, window, target_size=10_000)
+    subset = builder.build("F with clicks")
+    kinds2 = {}
+    for a in subset.accounts:
+        kinds2[a.kind.value] = kinds2.get(a.kind.value, 0) + 1
+    print("F with clicks composition:", kinds2, "n=", len(subset))
+
+    from repro.analysis import CompetitionAnalyzer
+    analyzer = CompetitionAnalyzer(result, window)
+    shares = [
+        analyzer.affected_impression_share(a.advertiser_id)
+        for a in subset.accounts
+    ]
+    shares = np.asarray([s for s in shares if not np.isnan(s)])
+    if shares.size:
+        print("F affected shares: median %.3f mean %.3f p90 %.3f  zero-frac %.2f"
+              % (np.median(shares), shares.mean(), np.percentile(shares, 90),
+                 (shares == 0).mean()))
+    by_kind = {}
+    for a in subset.accounts:
+        s = analyzer.affected_impression_share(a.advertiser_id)
+        if not np.isnan(s):
+            by_kind.setdefault(a.kind.value, []).append(s)
+    for kind, values in by_kind.items():
+        print(f"  affected share kind={kind}: median {np.median(values):.3f}")
+
+    # Alive fraud offers snapshot mid-window.
+    from repro.simulator.market import MarketIndex  # noqa: F401
+    mid = (window.start + window.end) / 2
+    alive_fraud = [
+        a for a in result.accounts
+        if a.labeled_fraud and a.created_time <= mid
+        and (a.shutdown_time is None or a.shutdown_time > mid)
+    ]
+    prolific = [a for a in alive_fraud if a.kind is AdvertiserKind.FRAUD_PROLIFIC]
+    print(f"alive fraud at day {mid:.0f}: {len(alive_fraud)} "
+          f"({len(prolific)} prolific)")
+    vert_counts: dict[str, int] = {}
+    for a in prolific:
+        for v in a.verticals:
+            vert_counts[v] = vert_counts.get(v, 0) + 1
+    print("  prolific verticals:", vert_counts)
+
+
+if __name__ == "__main__":
+    main()

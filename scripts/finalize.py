@@ -1,0 +1,41 @@
+"""Finalize release artifacts from one full-scale simulation.
+
+Runs the default two-year simulation once, then:
+  * writes EXPERIMENTS.md (paper-vs-measured for all 21 artifacts),
+  * writes validation_report.txt (the ~23-target acceptance report).
+
+    python scripts/finalize.py
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro import default_config
+from repro.simulator.cache import cached_simulation
+from repro.validation import render_report, run_validation
+
+
+def main() -> None:
+    config = default_config()
+    t0 = time.time()
+    result = cached_simulation(config)
+    print(f"simulated {config.days} days in {time.time() - t0:.0f}s")
+
+    checks = run_validation(result)
+    report = render_report(checks)
+    Path("validation_report.txt").write_text(report + "\n")
+    print(report)
+
+    # Reuse the same in-process cache for the experiments generator.
+    sys.argv = ["generate_experiments_md.py", "-o", "EXPERIMENTS.md"]
+    generator = Path(__file__).with_name("generate_experiments_md.py")
+    code = compile(generator.read_text(), str(generator), "exec")
+    exec(code, {"__name__": "__main__", "__file__": str(generator)})
+
+
+if __name__ == "__main__":
+    main()

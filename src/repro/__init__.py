@@ -1,0 +1,69 @@
+"""repro: a synthetic search-ad marketplace and the analysis library
+reproducing "Exploring the Dynamics of Search Advertiser Fraud"
+(DeBlasio, Guha, Voelker, Snoeren -- IMC 2017).
+
+Quickstart::
+
+    from repro import small_config, run_simulation
+    result = run_simulation(small_config())
+    print(len(result.fraud_accounts()), "fraud accounts")
+
+The per-figure/table experiments live in :mod:`repro.experiments`; run
+``python -m repro.experiments all`` to regenerate every paper artifact.
+"""
+
+from ._version import __version__
+from .config import (
+    AuctionConfig,
+    BehaviorConfig,
+    ClickConfig,
+    DetectionConfig,
+    PopulationConfig,
+    QueryConfig,
+    SimulationConfig,
+    default_config,
+    small_config,
+)
+from .errors import (
+    AnalysisError,
+    ConfigError,
+    ExperimentError,
+    RecordError,
+    ReproError,
+    SimulationError,
+    SubsetError,
+)
+from .simulator import (
+    SimulationEngine,
+    SimulationResult,
+    cached_simulation,
+    run_simulation,
+)
+from .timeline import Window, named_windows, quarter_window
+
+__all__ = [
+    "__version__",
+    "SimulationConfig",
+    "PopulationConfig",
+    "QueryConfig",
+    "AuctionConfig",
+    "ClickConfig",
+    "BehaviorConfig",
+    "DetectionConfig",
+    "default_config",
+    "small_config",
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "AnalysisError",
+    "SubsetError",
+    "RecordError",
+    "ExperimentError",
+    "SimulationEngine",
+    "SimulationResult",
+    "run_simulation",
+    "cached_simulation",
+    "Window",
+    "named_windows",
+    "quarter_window",
+]

@@ -1,0 +1,101 @@
+"""The paper's measurement methodology, as a reusable library."""
+
+from .activity import DETECTION_WINDOW_DAYS, WeeklyActivity, weekly_fraud_activity
+from .aggregates import AdvertiserAggregates, aggregate_by_advertiser
+from .bidding import (
+    BidLevelDistributions,
+    MatchMixDistributions,
+    MatchTypeClickRow,
+    above_default_share,
+    bid_level_distributions,
+    clicks_by_match_type,
+    match_mix_distributions,
+)
+from .cdf import Ecdf, ecdf, lorenz_curve, quantile, weighted_ecdf
+from .competition import (
+    CompetitionAnalyzer,
+    affected_share_distributions,
+    cpc_distributions,
+    ctr_distributions,
+    position_distributions,
+    top_position_probability,
+)
+from .concentration import ConcentrationCurves, fraud_concentration, top_share
+from .domains import DomainStats, fraud_domain_usage
+from .effectiveness import EffectivenessStats, advertiser_effectiveness
+from .geography import (
+    CountryClickRow,
+    fraud_clicks_by_country,
+    registration_country_table,
+)
+from .lifetimes import LifetimeCdfs, fraud_lifetimes, preads_shutdown_share
+from .rates import (
+    RateDistributions,
+    RateScatter,
+    impression_rates,
+    rate_vs_clicks,
+)
+from .registration import RegistrationSeries, fraud_registration_share
+from .subsets import (
+    ALL_SUBSETS,
+    FRAUD_SUBSETS,
+    NONFRAUD_SUBSETS,
+    Subset,
+    SubsetBuilder,
+)
+from .targeting import TargetingDistributions, targeting_distributions
+from .verticals import VerticalSpendSeries, vertical_spend_by_month
+
+__all__ = [
+    "Ecdf",
+    "ecdf",
+    "weighted_ecdf",
+    "quantile",
+    "lorenz_curve",
+    "AdvertiserAggregates",
+    "aggregate_by_advertiser",
+    "Subset",
+    "SubsetBuilder",
+    "ALL_SUBSETS",
+    "FRAUD_SUBSETS",
+    "NONFRAUD_SUBSETS",
+    "RegistrationSeries",
+    "fraud_registration_share",
+    "LifetimeCdfs",
+    "fraud_lifetimes",
+    "preads_shutdown_share",
+    "WeeklyActivity",
+    "weekly_fraud_activity",
+    "DETECTION_WINDOW_DAYS",
+    "ConcentrationCurves",
+    "fraud_concentration",
+    "top_share",
+    "DomainStats",
+    "fraud_domain_usage",
+    "EffectivenessStats",
+    "advertiser_effectiveness",
+    "RateDistributions",
+    "RateScatter",
+    "impression_rates",
+    "rate_vs_clicks",
+    "TargetingDistributions",
+    "targeting_distributions",
+    "VerticalSpendSeries",
+    "vertical_spend_by_month",
+    "CountryClickRow",
+    "fraud_clicks_by_country",
+    "registration_country_table",
+    "MatchMixDistributions",
+    "BidLevelDistributions",
+    "MatchTypeClickRow",
+    "match_mix_distributions",
+    "bid_level_distributions",
+    "clicks_by_match_type",
+    "above_default_share",
+    "CompetitionAnalyzer",
+    "affected_share_distributions",
+    "position_distributions",
+    "ctr_distributions",
+    "cpc_distributions",
+    "top_position_probability",
+]

@@ -1,0 +1,84 @@
+"""Per-advertiser aggregation of the impression table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..records.impressions import ImpressionTable
+
+__all__ = ["AdvertiserAggregates", "aggregate_by_advertiser"]
+
+
+@dataclass(frozen=True)
+class AdvertiserAggregates:
+    """Totals per advertiser over some slice of the impression table."""
+
+    advertiser_ids: np.ndarray
+    impressions: np.ndarray
+    clicks: np.ndarray
+    spend: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.advertiser_ids)
+
+    def _index_of(self, advertiser_id: int) -> int | None:
+        index = int(np.searchsorted(self.advertiser_ids, advertiser_id))
+        if (
+            index < len(self.advertiser_ids)
+            and self.advertiser_ids[index] == advertiser_id
+        ):
+            return index
+        return None
+
+    def impressions_of(self, advertiser_id: int) -> float:
+        """Total impressions for one advertiser (0.0 if absent)."""
+        index = self._index_of(advertiser_id)
+        return float(self.impressions[index]) if index is not None else 0.0
+
+    def clicks_of(self, advertiser_id: int) -> float:
+        """Total clicks for one advertiser (0.0 if absent)."""
+        index = self._index_of(advertiser_id)
+        return float(self.clicks[index]) if index is not None else 0.0
+
+    def spend_of(self, advertiser_id: int) -> float:
+        """Total spend for one advertiser (0.0 if absent)."""
+        index = self._index_of(advertiser_id)
+        return float(self.spend[index]) if index is not None else 0.0
+
+    def as_dicts(self) -> tuple[dict, dict, dict]:
+        """(impressions, clicks, spend) keyed by advertiser id."""
+        ids = self.advertiser_ids.tolist()
+        return (
+            dict(zip(ids, self.impressions.tolist())),
+            dict(zip(ids, self.clicks.tolist())),
+            dict(zip(ids, self.spend.tolist())),
+        )
+
+
+def aggregate_by_advertiser(
+    table: ImpressionTable, mask: np.ndarray | None = None
+) -> AdvertiserAggregates:
+    """Sum impressions (weights), clicks and spend per advertiser.
+
+    Args:
+        table: The impression slice to aggregate.
+        mask: Optional boolean row filter applied first.
+    """
+    ids = table.advertiser_id
+    weight = table.weight
+    clicks = table.clicks
+    spend = table.spend
+    if mask is not None:
+        ids, weight, clicks, spend = ids[mask], weight[mask], clicks[mask], spend[mask]
+    if ids.size == 0:
+        empty = np.empty(0)
+        return AdvertiserAggregates(np.empty(0, dtype=np.int64), empty, empty, empty)
+    unique, inverse = np.unique(ids, return_inverse=True)
+    return AdvertiserAggregates(
+        advertiser_ids=unique,
+        impressions=np.bincount(inverse, weights=weight),
+        clicks=np.bincount(inverse, weights=clicks),
+        spend=np.bincount(inverse, weights=spend),
+    )

@@ -1,0 +1,147 @@
+"""Bidding-style analyses (Figure 9, Table 4, Section 5.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..entities.enums import MatchType
+from ..records.codes import MATCH_CODES
+from ..simulator.results import SimulationResult
+from ..timeline import Window
+from .cdf import Ecdf, ecdf
+from .subsets import Subset
+
+__all__ = [
+    "MatchMixDistributions",
+    "BidLevelDistributions",
+    "MatchTypeClickRow",
+    "match_mix_distributions",
+    "bid_level_distributions",
+    "clicks_by_match_type",
+    "above_default_share",
+]
+
+_MATCH_NAMES = ("exact", "phrase", "broad")
+
+
+@dataclass(frozen=True)
+class MatchMixDistributions:
+    """Figure 9(a-c): per-advertiser share of bids per match type."""
+
+    #: match name -> subset name -> CDF of proportions
+    curves: dict[str, dict[str, Ecdf]]
+
+
+@dataclass(frozen=True)
+class BidLevelDistributions:
+    """Figure 9(d-f): per-advertiser average bid per match type.
+
+    Values are normalized by the platform's default maximum bid, as in
+    the paper.
+    """
+
+    curves: dict[str, dict[str, Ecdf]]
+
+
+@dataclass(frozen=True)
+class MatchTypeClickRow:
+    """One row of Table 4."""
+
+    match_type: str
+    fraud_click_share: float
+    fraud_share_of_type: float
+    nonfraud_click_share: float
+
+
+def match_mix_distributions(subsets: dict[str, Subset]) -> MatchMixDistributions:
+    """Per-subset CDFs of the proportion of an advertiser's bids that
+    use each match type."""
+    curves: dict[str, dict[str, Ecdf]] = {name: {} for name in _MATCH_NAMES}
+    for subset_name, subset in subsets.items():
+        shares = {name: [] for name in _MATCH_NAMES}
+        for account in subset.accounts:
+            total = float(account.bid_count_by_match.sum())
+            if total <= 0:
+                continue
+            for code, name in enumerate(_MATCH_NAMES):
+                shares[name].append(account.bid_count_by_match[code] / total)
+        for name in _MATCH_NAMES:
+            curves[name][subset_name] = ecdf(shares[name])
+    return MatchMixDistributions(curves)
+
+
+def bid_level_distributions(
+    subsets: dict[str, Subset], default_max_bid: float
+) -> BidLevelDistributions:
+    """Per-subset CDFs of normalized average bids per match type."""
+    curves: dict[str, dict[str, Ecdf]] = {name: {} for name in _MATCH_NAMES}
+    for subset_name, subset in subsets.items():
+        averages = {name: [] for name in _MATCH_NAMES}
+        for account in subset.accounts:
+            for code, name in enumerate(_MATCH_NAMES):
+                count = account.bid_count_by_match[code]
+                if count > 0:
+                    averages[name].append(
+                        account.bid_sum_by_match[code] / count / default_max_bid
+                    )
+        for name in _MATCH_NAMES:
+            curves[name][subset_name] = ecdf(averages[name])
+    return BidLevelDistributions(curves)
+
+
+def clicks_by_match_type(
+    result: SimulationResult, window: Window
+) -> list[MatchTypeClickRow]:
+    """Table 4: the match-type distribution of clicks received.
+
+    ``fraud_share_of_type`` is the fraudulent share of all clicks that
+    arrived through the given match type.
+    """
+    table = result.impressions.in_window(window.start, window.end)
+    fraud = table.fraud_labeled
+    rows = []
+    fraud_total = float(table.clicks[fraud].sum())
+    nonfraud_total = float(table.clicks[~fraud].sum())
+    for match_type in (MatchType.EXACT, MatchType.PHRASE, MatchType.BROAD):
+        code = MATCH_CODES[match_type]
+        of_type = table.match_type == code
+        fraud_clicks = float(table.clicks[of_type & fraud].sum())
+        nonfraud_clicks = float(table.clicks[of_type & ~fraud].sum())
+        type_total = fraud_clicks + nonfraud_clicks
+        rows.append(
+            MatchTypeClickRow(
+                match_type=match_type.value,
+                fraud_click_share=(
+                    fraud_clicks / fraud_total if fraud_total > 0 else float("nan")
+                ),
+                fraud_share_of_type=(
+                    fraud_clicks / type_total if type_total > 0 else float("nan")
+                ),
+                nonfraud_click_share=(
+                    nonfraud_clicks / nonfraud_total
+                    if nonfraud_total > 0
+                    else float("nan")
+                ),
+            )
+        )
+    return rows
+
+
+def above_default_share(subset: Subset) -> float:
+    """Share of a subset bidding above the default on BOTH exact and
+    phrase matches (the paper: ~17% of fraud vs roughly double that for
+    non-fraudulent advertisers).
+
+    Advertisers without both bid types count in the denominator and
+    cannot satisfy the condition.
+    """
+    if not subset.accounts:
+        return float("nan")
+    exact_code = MATCH_CODES[MatchType.EXACT]
+    phrase_code = MATCH_CODES[MatchType.PHRASE]
+    above = 0
+    for account in subset.accounts:
+        aboves = account.bid_above_default_by_match
+        if aboves[exact_code] > 0 and aboves[phrase_code] > 0:
+            above += 1
+    return above / len(subset.accounts)

@@ -1,0 +1,100 @@
+"""Empirical distribution utilities shared by the analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["Ecdf", "ecdf", "weighted_ecdf", "quantile", "lorenz_curve"]
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical CDF: ``F(x[i]) = y[i]``, x sorted ascending."""
+
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise AnalysisError("ECDF arrays must align")
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def at(self, value: float) -> float:
+        """F(value): share of mass at or below ``value``."""
+        if len(self.x) == 0:
+            return float("nan")
+        index = np.searchsorted(self.x, value, side="right")
+        if index == 0:
+            return 0.0
+        return float(self.y[index - 1])
+
+    def quantile(self, q: float) -> float:
+        """Smallest x with F(x) >= q."""
+        if not 0.0 <= q <= 1.0:
+            raise AnalysisError(f"quantile must be in [0, 1], got {q}")
+        if len(self.x) == 0:
+            return float("nan")
+        index = int(np.searchsorted(self.y, q, side="left"))
+        index = min(index, len(self.x) - 1)
+        return float(self.x[index])
+
+    @property
+    def median(self) -> float:
+        """The 0.5 quantile."""
+        return self.quantile(0.5)
+
+
+def ecdf(values) -> Ecdf:
+    """Unweighted empirical CDF of ``values``."""
+    array = np.asarray(values, dtype=float)
+    array = array[~np.isnan(array)]
+    if array.size == 0:
+        return Ecdf(np.empty(0), np.empty(0))
+    x = np.sort(array)
+    y = np.arange(1, len(x) + 1) / len(x)
+    return Ecdf(x, y)
+
+
+def weighted_ecdf(values, weights) -> Ecdf:
+    """Weighted empirical CDF (mass ``weights[i]`` at ``values[i]``)."""
+    array = np.asarray(values, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    if array.shape != w.shape:
+        raise AnalysisError("values and weights must align")
+    keep = ~np.isnan(array) & (w > 0)
+    array, w = array[keep], w[keep]
+    if array.size == 0:
+        return Ecdf(np.empty(0), np.empty(0))
+    order = np.argsort(array)
+    x = array[order]
+    y = np.cumsum(w[order])
+    y = y / y[-1]
+    return Ecdf(x, y)
+
+
+def quantile(values, q: float) -> float:
+    """Convenience quantile of raw values."""
+    return ecdf(values).quantile(q)
+
+
+def lorenz_curve(values) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative-share curve over entities sorted in *decreasing* order.
+
+    Returns (proportion of entities, cumulative proportion of total),
+    matching Figure 4's axes ("advertisers are in decreasing order of
+    spend").
+    """
+    array = np.asarray(values, dtype=float)
+    array = array[~np.isnan(array)]
+    if array.size == 0 or array.sum() <= 0:
+        raise AnalysisError("lorenz_curve needs positive total mass")
+    descending = np.sort(array)[::-1]
+    cumulative = np.cumsum(descending) / descending.sum()
+    proportion = np.arange(1, len(descending) + 1) / len(descending)
+    return proportion, cumulative

@@ -1,0 +1,233 @@
+"""Fraud-competition analyses (Section 6, Figures 10-17).
+
+An advertiser "competes with fraud" on an impression when an ad from a
+*different* eventually-labeled-fraud advertiser was shown on the same
+results page.  Impressions with such competition are *influenced*;
+the rest are *organic*.
+
+The analyzer pre-sorts the window's impression rows by advertiser so
+per-account statistics are O(log n) lookups plus a contiguous slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..records.codes import vertical_code
+from ..simulator.results import SimulationResult
+from ..taxonomy.verticals import dubious_vertical_names
+from ..timeline import Window
+from .cdf import Ecdf, ecdf, weighted_ecdf
+from .subsets import Subset
+
+__all__ = [
+    "CompetitionAnalyzer",
+    "AffectedShares",
+    "PositionCurves",
+    "EngagementCurves",
+    "affected_share_distributions",
+    "position_distributions",
+    "ctr_distributions",
+    "cpc_distributions",
+    "top_position_probability",
+]
+
+
+class CompetitionAnalyzer:
+    """Window-scoped competition statistics."""
+
+    def __init__(
+        self,
+        result: SimulationResult,
+        window: Window,
+        dubious_only: bool = False,
+    ) -> None:
+        table = result.impressions.in_window(window.start, window.end)
+        if dubious_only:
+            dubious = np.asarray(
+                [vertical_code(name) for name in dubious_vertical_names()]
+            )
+            table = table.select(np.isin(table.vertical, dubious))
+        order = np.argsort(table.advertiser_id, kind="stable")
+        self._ids = table.advertiser_id[order]
+        self._weight = table.weight[order]
+        self._clicks = table.clicks[order]
+        self._spend = table.spend[order]
+        self._position = table.position[order]
+        self._influenced = table.has_fraud_competition[order]
+        self._co_fraud = (
+            table.n_fraud_shown[order]
+            - table.fraud_labeled[order].astype(np.int16)
+        )
+        self.window = window
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def _range(self, advertiser_id: int) -> tuple[int, int]:
+        lo = int(np.searchsorted(self._ids, advertiser_id, side="left"))
+        hi = int(np.searchsorted(self._ids, advertiser_id, side="right"))
+        return lo, hi
+
+    def affected_impression_share(self, advertiser_id: int) -> float:
+        """Share of the account's impressions shown beside fraud."""
+        lo, hi = self._range(advertiser_id)
+        total = self._weight[lo:hi].sum()
+        if total <= 0:
+            return float("nan")
+        return float(self._weight[lo:hi][self._influenced[lo:hi]].sum() / total)
+
+    def affected_spend_share(self, advertiser_id: int) -> float:
+        """Share of the account's spend incurred beside fraud."""
+        lo, hi = self._range(advertiser_id)
+        total = self._spend[lo:hi].sum()
+        if total <= 0:
+            return float("nan")
+        return float(self._spend[lo:hi][self._influenced[lo:hi]].sum() / total)
+
+    def ctr(self, advertiser_id: int, influenced: bool) -> float:
+        """Average CTR over the account's organic or influenced rows."""
+        lo, hi = self._range(advertiser_id)
+        mask = self._influenced[lo:hi] == influenced
+        impressions = self._weight[lo:hi][mask].sum()
+        if impressions <= 0:
+            return float("nan")
+        return float(self._clicks[lo:hi][mask].sum() / impressions)
+
+    def cpc(self, advertiser_id: int, influenced: bool) -> float:
+        """Average cost per click over organic or influenced rows."""
+        lo, hi = self._range(advertiser_id)
+        mask = self._influenced[lo:hi] == influenced
+        clicks = self._clicks[lo:hi][mask].sum()
+        if clicks <= 0:
+            return float("nan")
+        return float(self._spend[lo:hi][mask].sum() / clicks)
+
+    def pooled_positions(
+        self, advertiser_ids: np.ndarray, influenced: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(positions, weights) pooled over the given accounts."""
+        member = np.isin(self._ids, advertiser_ids)
+        mask = member & (self._influenced == influenced)
+        return self._position[mask], self._weight[mask]
+
+    def co_fraud_counts(
+        self, advertiser_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(competitor counts, weights) over the accounts' influenced rows.
+
+        Section 6.1 (prose): non-fraudulent advertisers facing fraud are
+        "almost always faced with only a single fraudulent ad", while
+        fraudulent advertisers usually compete with more than one.
+        """
+        member = np.isin(self._ids, advertiser_ids)
+        mask = member & self._influenced
+        return self._co_fraud[mask], self._weight[mask]
+
+
+@dataclass(frozen=True)
+class AffectedShares:
+    """Figure 10/11: per-subset CDFs of affected share per advertiser."""
+
+    curves: dict[str, Ecdf]
+
+
+@dataclass(frozen=True)
+class PositionCurves:
+    """Figure 12/13: weighted position CDFs, organic vs influenced."""
+
+    #: "<subset> (organic)" / "<subset> (influenced)" -> CDF
+    curves: dict[str, Ecdf]
+
+
+@dataclass(frozen=True)
+class EngagementCurves:
+    """Figure 14-17: per-subset CDFs of CTR or normalized CPC."""
+
+    curves: dict[str, Ecdf]
+    #: For CPC figures, the median organic CPC used as the normalizer.
+    norm: float = 1.0
+
+
+def affected_share_distributions(
+    analyzer: CompetitionAnalyzer,
+    subsets: dict[str, Subset],
+    by: str = "impressions",
+) -> AffectedShares:
+    """Figure 10 (``by='impressions'``) / Figure 11 (``by='spend'``)."""
+    share = (
+        analyzer.affected_impression_share
+        if by == "impressions"
+        else analyzer.affected_spend_share
+    )
+    curves = {}
+    for name, subset in subsets.items():
+        values = [share(a.advertiser_id) for a in subset.accounts]
+        curves[name] = ecdf(values)
+    return AffectedShares(curves)
+
+
+def position_distributions(
+    analyzer: CompetitionAnalyzer, subsets: dict[str, Subset]
+) -> PositionCurves:
+    """Figure 12/13: ad-position CDFs with and without fraud competition."""
+    curves = {}
+    for name, subset in subsets.items():
+        ids = subset.ids()
+        for influenced, label in ((False, "organic"), (True, "influenced")):
+            positions, weights = analyzer.pooled_positions(ids, influenced)
+            curves[f"{name} ({label})"] = weighted_ecdf(positions, weights)
+    return PositionCurves(curves)
+
+
+def ctr_distributions(
+    analyzer: CompetitionAnalyzer, subsets: dict[str, Subset]
+) -> EngagementCurves:
+    """Figure 14/16: per-advertiser CTR, organic vs influenced."""
+    curves = {}
+    for name, subset in subsets.items():
+        for influenced, label in ((False, "organic"), (True, "influenced")):
+            values = [
+                analyzer.ctr(a.advertiser_id, influenced) for a in subset.accounts
+            ]
+            curves[f"{name} ({label})"] = ecdf(values)
+    return EngagementCurves(curves)
+
+
+def cpc_distributions(
+    analyzer: CompetitionAnalyzer,
+    subsets: dict[str, Subset],
+    norm_subset: Subset,
+) -> EngagementCurves:
+    """Figure 15/17: per-advertiser CPC normalized by the median organic
+    CPC of ``norm_subset`` (the paper uses 'NF with clicks (organic)')."""
+    norm_values = [
+        analyzer.cpc(a.advertiser_id, influenced=False)
+        for a in norm_subset.accounts
+    ]
+    norm_values = [v for v in norm_values if not np.isnan(v)]
+    norm = float(np.median(norm_values)) if norm_values else 1.0
+    if norm <= 0:
+        norm = 1.0
+    curves = {}
+    for name, subset in subsets.items():
+        for influenced, label in ((False, "organic"), (True, "influenced")):
+            values = [
+                analyzer.cpc(a.advertiser_id, influenced) / norm
+                for a in subset.accounts
+            ]
+            curves[f"{name} ({label})"] = ecdf(values)
+    return EngagementCurves(curves, norm=norm)
+
+
+def top_position_probability(
+    analyzer: CompetitionAnalyzer, subset: Subset, influenced: bool
+) -> float:
+    """Probability (by impression mass) of holding the #1 ad position."""
+    positions, weights = analyzer.pooled_positions(subset.ids(), influenced)
+    total = weights.sum()
+    if total <= 0:
+        return float("nan")
+    return float(weights[positions == 1].sum() / total)

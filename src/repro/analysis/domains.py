@@ -1,0 +1,57 @@
+"""Domain usage analysis (Section 5.2.4).
+
+"74% of fraudulent advertisers use a single domain in their
+advertisements, and 96% use 3 or fewer, [but] most accounts are shut
+down so quickly that these figures are misleading.  Predicating on
+accounts that have multiple ads moves the mean case to 3 domains, with
+the 90th percentile having nearly 20."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simulator.results import SimulationResult
+
+__all__ = ["DomainStats", "fraud_domain_usage"]
+
+
+@dataclass(frozen=True)
+class DomainStats:
+    """Distributional facts about fraud accounts' destination domains."""
+
+    single_domain_share: float
+    three_or_fewer_share: float
+    multi_ad_mean: float
+    multi_ad_p90: float
+    n_accounts: int
+    n_multi_ad_accounts: int
+
+
+def fraud_domain_usage(result: SimulationResult) -> DomainStats:
+    """Domain-count statistics over fraud accounts that posted ads."""
+    counts = []
+    multi_ad_counts = []
+    for account in result.fraud_accounts():
+        if account.n_ads == 0 or account.n_domains == 0:
+            continue
+        counts.append(account.n_domains)
+        if account.n_ads > 1:
+            multi_ad_counts.append(account.n_domains)
+    if not counts:
+        nan = float("nan")
+        return DomainStats(nan, nan, nan, nan, 0, 0)
+    array = np.asarray(counts)
+    multi = np.asarray(multi_ad_counts) if multi_ad_counts else np.empty(0)
+    return DomainStats(
+        single_domain_share=float((array == 1).mean()),
+        three_or_fewer_share=float((array <= 3).mean()),
+        multi_ad_mean=float(multi.mean()) if multi.size else float("nan"),
+        multi_ad_p90=(
+            float(np.percentile(multi, 90)) if multi.size else float("nan")
+        ),
+        n_accounts=len(counts),
+        n_multi_ad_accounts=len(multi_ad_counts),
+    )

@@ -1,0 +1,84 @@
+"""Geographic distribution of fraud (Table 1, Table 3, Section 5.2.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..records.codes import country_name
+from ..simulator.results import SimulationResult
+from ..timeline import Window
+from .subsets import Subset
+
+__all__ = [
+    "CountryClickRow",
+    "fraud_clicks_by_country",
+    "registration_country_table",
+]
+
+
+@dataclass(frozen=True)
+class CountryClickRow:
+    """One row of Table 3."""
+
+    country: str
+    share_of_fraud: float
+    share_of_country: float
+
+
+def fraud_clicks_by_country(
+    result: SimulationResult, window: Window
+) -> list[CountryClickRow]:
+    """Table 3: where fraudulent clicks land.
+
+    ``share_of_fraud`` is the country's share of all fraudulent clicks;
+    ``share_of_country`` is the fraudulent share of that country's
+    clicks.  Sorted by share_of_fraud descending.
+    """
+    table = result.impressions.in_window(window.start, window.end)
+    n_countries = int(table.country.max(initial=0)) + 1
+    fraud = table.fraud_labeled
+    fraud_clicks = np.bincount(
+        table.country[fraud], weights=table.clicks[fraud], minlength=n_countries
+    )
+    all_clicks = np.bincount(
+        table.country, weights=table.clicks, minlength=n_countries
+    )
+    total_fraud = fraud_clicks.sum()
+    rows = []
+    for code in range(n_countries):
+        if all_clicks[code] <= 0:
+            continue
+        rows.append(
+            CountryClickRow(
+                country=country_name(code),
+                share_of_fraud=(
+                    float(fraud_clicks[code] / total_fraud) if total_fraud > 0 else 0.0
+                ),
+                share_of_country=float(fraud_clicks[code] / all_clicks[code]),
+            )
+        )
+    rows.sort(key=lambda r: r.share_of_fraud, reverse=True)
+    return rows
+
+
+def registration_country_table(
+    subsets: dict[str, Subset], top: int = 5
+) -> dict[str, list[tuple[str, float]]]:
+    """Table 1: top registration countries per fraud subset.
+
+    Returns, per subset name, the top ``top`` (country, percentage)
+    pairs.
+    """
+    output: dict[str, list[tuple[str, float]]] = {}
+    for name, subset in subsets.items():
+        counts: dict[str, int] = {}
+        for account in subset.accounts:
+            counts[account.country] = counts.get(account.country, 0) + 1
+        total = max(1, len(subset.accounts))
+        ranked = sorted(counts.items(), key=lambda item: item[1], reverse=True)
+        output[name] = [
+            (country, 100.0 * count / total) for country, count in ranked[:top]
+        ]
+    return output

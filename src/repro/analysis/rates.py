@@ -1,0 +1,89 @@
+"""Impression-rate analyses (Figures 5 and 6).
+
+Figure 5: fraudsters show ads faster than their legitimate
+counterparts.  Figure 6: at high click volumes the populations blend --
+the most successful fraud accounts post at rates indistinguishable from
+big legitimate advertisers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simulator.results import SimulationResult
+from ..timeline import Window
+from .aggregates import aggregate_by_advertiser
+from .cdf import Ecdf, ecdf
+
+__all__ = ["RateDistributions", "RateScatter", "impression_rates", "rate_vs_clicks"]
+
+
+@dataclass(frozen=True)
+class RateDistributions:
+    """Impressions-per-day CDFs, fraud vs non-fraud (Figure 5)."""
+
+    fraud: Ecdf
+    nonfraud: Ecdf
+
+
+@dataclass(frozen=True)
+class RateScatter:
+    """(rate, clicks) points per advertiser by population (Figure 6)."""
+
+    fraud_rate: np.ndarray
+    fraud_clicks: np.ndarray
+    nonfraud_rate: np.ndarray
+    nonfraud_clicks: np.ndarray
+
+
+def _per_account_rates(
+    result: SimulationResult, window: Window
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(fraud rates, fraud clicks, nonfraud rates, nonfraud clicks)."""
+    table = result.impressions.in_window(window.start, window.end)
+    agg = aggregate_by_advertiser(table)
+    impressions, clicks, _ = agg.as_dicts()
+    fraud_rates, fraud_clicks = [], []
+    nonfraud_rates, nonfraud_clicks = [], []
+    for account in result.accounts:
+        imp = impressions.get(account.advertiser_id, 0.0)
+        if imp <= 0:
+            continue
+        days = account.active_days_in(window.start, window.end)
+        if days <= 0:
+            continue
+        rate = imp / days
+        clk = clicks.get(account.advertiser_id, 0.0)
+        if account.labeled_fraud:
+            fraud_rates.append(rate)
+            fraud_clicks.append(clk)
+        else:
+            nonfraud_rates.append(rate)
+            nonfraud_clicks.append(clk)
+    return (
+        np.asarray(fraud_rates),
+        np.asarray(fraud_clicks),
+        np.asarray(nonfraud_rates),
+        np.asarray(nonfraud_clicks),
+    )
+
+
+def impression_rates(result: SimulationResult, window: Window) -> RateDistributions:
+    """Figure 5: per-advertiser impressions/day distributions."""
+    fraud_rate, _, nonfraud_rate, _ = _per_account_rates(result, window)
+    return RateDistributions(fraud=ecdf(fraud_rate), nonfraud=ecdf(nonfraud_rate))
+
+
+def rate_vs_clicks(result: SimulationResult, window: Window) -> RateScatter:
+    """Figure 6: impression rate against clicks received."""
+    fraud_rate, fraud_clicks, nonfraud_rate, nonfraud_clicks = _per_account_rates(
+        result, window
+    )
+    return RateScatter(
+        fraud_rate=fraud_rate,
+        fraud_clicks=fraud_clicks,
+        nonfraud_rate=nonfraud_rate,
+        nonfraud_clicks=nonfraud_clicks,
+    )

@@ -1,0 +1,47 @@
+"""Registration analysis (Figure 1).
+
+Monthly proportion of new account registrations that are *eventually*
+labeled fraudulent -- "generally more than a third, and near the end
+more than half".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simulator.results import SimulationResult
+from ..timeline import day_to_month, month_label
+
+__all__ = ["RegistrationSeries", "fraud_registration_share"]
+
+
+@dataclass(frozen=True)
+class RegistrationSeries:
+    """Per-month registrations and the share later labeled fraudulent."""
+
+    months: list[str]
+    registrations: np.ndarray
+    fraud_share: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.months)
+
+
+def fraud_registration_share(result: SimulationResult) -> RegistrationSeries:
+    """Figure 1's series from the customer dataset."""
+    n_months = day_to_month(result.total_days - 1) + 1
+    total = np.zeros(n_months)
+    fraud = np.zeros(n_months)
+    for account in result.accounts:
+        month = day_to_month(account.created_time)
+        total[month] += 1
+        if account.labeled_fraud:
+            fraud[month] += 1
+    share = np.divide(fraud, total, out=np.zeros(n_months), where=total > 0)
+    return RegistrationSeries(
+        months=[month_label(m) for m in range(n_months)],
+        registrations=total,
+        fraud_share=share,
+    )

@@ -1,0 +1,93 @@
+"""Targeting footprint (Figure 7).
+
+Distributions of the number of ads and keyword sets created or modified
+per account within a measurement window, per subset, normalized by the
+median creation count of 'NF with clicks' (per the figure caption).
+Fraud keeps its footprint more than an order of magnitude smaller:
+more ads and keywords are "greater surface area for Bing to detect
+dubious activity".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..simulator.results import AccountSummary
+from ..timeline import Window
+from .cdf import Ecdf, ecdf
+from .subsets import Subset
+
+__all__ = ["TargetingDistributions", "targeting_distributions", "count_in_window"]
+
+_KINDS = ("ads_created", "kw_created", "ads_modified", "kw_modified")
+
+
+def count_in_window(times: np.ndarray, window: Window) -> int:
+    """Events with ``start <= t < end``."""
+    if times.size == 0:
+        return 0
+    return int(np.count_nonzero((times >= window.start) & (times < window.end)))
+
+
+def _counts(account: AccountSummary, kind: str, window: Window) -> int:
+    if kind == "ads_created":
+        return count_in_window(account.ad_creation_times, window)
+    if kind == "kw_created":
+        return count_in_window(account.kw_creation_times, window)
+    if kind == "ads_modified":
+        return count_in_window(account.ad_mod_times, window)
+    if kind == "kw_modified":
+        return count_in_window(account.kw_mod_times, window)
+    raise AnalysisError(f"unknown targeting kind: {kind!r}")
+
+
+@dataclass(frozen=True)
+class TargetingDistributions:
+    """Per-subset CDFs for the four panels of Figure 7.
+
+    Values are normalized by the median *creation* count of the
+    'NF with clicks' subset (ads for ad panels, keywords for keyword
+    panels), so 1.0 on the x-axis is "the typical clicked legitimate
+    advertiser's footprint".
+    """
+
+    curves: dict[str, dict[str, Ecdf]]
+    norms: dict[str, float]
+
+    def panel(self, kind: str) -> dict[str, Ecdf]:
+        """Curves for one of the four Figure 7 panels."""
+        if kind not in _KINDS:
+            raise AnalysisError(f"unknown panel: {kind!r}")
+        return self.curves[kind]
+
+
+def targeting_distributions(
+    subsets: dict[str, Subset], window: Window
+) -> TargetingDistributions:
+    """Figure 7 from pre-built subsets."""
+    if "NF with clicks" not in subsets:
+        raise AnalysisError("Figure 7 normalization needs 'NF with clicks'")
+    reference = subsets["NF with clicks"]
+    ad_norm = float(
+        np.median([_counts(a, "ads_created", window) for a in reference.accounts])
+    )
+    kw_norm = float(
+        np.median([_counts(a, "kw_created", window) for a in reference.accounts])
+    )
+    norms = {
+        "ads_created": max(ad_norm, 1.0),
+        "ads_modified": max(ad_norm, 1.0),
+        "kw_created": max(kw_norm, 1.0),
+        "kw_modified": max(kw_norm, 1.0),
+    }
+    curves: dict[str, dict[str, Ecdf]] = {kind: {} for kind in _KINDS}
+    for kind in _KINDS:
+        for name, subset in subsets.items():
+            values = np.asarray(
+                [_counts(a, kind, window) for a in subset.accounts], dtype=float
+            )
+            curves[kind][name] = ecdf(values / norms[kind])
+    return TargetingDistributions(curves=curves, norms=norms)

@@ -1,0 +1,18 @@
+"""Generalized second-price ad auction with quality scores."""
+
+from .gsp import AuctionOutcome, Candidate, ShownAd, run_auction
+from .pricing import gsp_price
+from .quality import MATCH_RELEVANCE, quality_score
+from .slots import SlotPlacement, layout
+
+__all__ = [
+    "AuctionOutcome",
+    "Candidate",
+    "ShownAd",
+    "run_auction",
+    "gsp_price",
+    "quality_score",
+    "MATCH_RELEVANCE",
+    "SlotPlacement",
+    "layout",
+]

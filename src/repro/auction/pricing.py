@@ -1,0 +1,33 @@
+"""GSP per-click pricing."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..config import AuctionConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .gsp import Candidate
+
+__all__ = ["gsp_price"]
+
+
+def gsp_price(
+    candidate: "Candidate",
+    next_rank_score: float | None,
+    config: AuctionConfig,
+) -> float:
+    """Price per click for a shown ad.
+
+    The ad pays the minimum bid that would have kept it above the
+    next-ranked competitor: ``next_rank_score / quality`` plus the
+    increment.  The price is floored at the reserve-implied minimum and
+    never exceeds the advertiser's own maximum bid.
+    """
+    floor = config.reserve_score / candidate.quality + config.price_increment
+    if next_rank_score is None:
+        price = floor
+    else:
+        price = next_rank_score / candidate.quality + config.price_increment
+    price = max(price, floor)
+    return min(price, candidate.max_bid)

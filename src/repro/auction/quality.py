@@ -1,0 +1,41 @@
+"""Quality scores.
+
+Bing ranks ads by a combination of bid and quality ("how bid,
+cost-per-click and quality score work together"); quality is an estimate
+of the ad's click probability for the query.  Here quality composes the
+advertiser's intrinsic targeting quality, the ad's engagement, the
+vertical's baseline CTR, and a relevance discount for looser match
+types: a broad-matched ad is, on average, less relevant to the query
+than an exact-matched one (Section 5.2: "targeting an ad too broadly
+results in lower relevance ... which often hurts performance").
+"""
+
+from __future__ import annotations
+
+from ..entities.enums import MatchType
+
+__all__ = ["MATCH_RELEVANCE", "quality_score"]
+
+#: Relevance discount per match type.
+MATCH_RELEVANCE: dict[MatchType, float] = {
+    MatchType.EXACT: 1.0,
+    MatchType.PHRASE: 0.55,
+    MatchType.BROAD: 0.42,
+}
+
+
+def quality_score(
+    advertiser_quality: float,
+    ad_engagement: float,
+    base_ctr: float,
+    match_type: MatchType,
+) -> float:
+    """Estimated click probability of the ad for this query.
+
+    The returned value doubles as the expected CTR fed to the click
+    model, keeping ranking and user behaviour consistent: ads ranked
+    higher really are the ads users click more.
+    """
+    if advertiser_quality <= 0 or ad_engagement <= 0 or base_ctr <= 0:
+        raise ValueError("quality inputs must be positive")
+    return advertiser_quality * ad_engagement * base_ctr * MATCH_RELEVANCE[match_type]

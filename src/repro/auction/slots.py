@@ -1,0 +1,53 @@
+"""Page layout: mainline and sidebar slots.
+
+Ads can show along the top of the page (the mainline) or on the right
+edge (the sidebar).  The number of mainline ads is dynamic: only ads
+whose rank score clears the mainline reserve get promoted, so "a
+particular ad position does not correspond to a particular slot on the
+page" (Section 6.2.1, footnote 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import AuctionConfig
+
+__all__ = ["SlotPlacement", "layout"]
+
+
+@dataclass(frozen=True)
+class SlotPlacement:
+    """Where a ranked ad landed on the page.
+
+    Attributes:
+        position: 1-based overall ad position (mainline top to sidebar
+            bottom) -- the paper's "ad position".
+        mainline: Whether the slot is in the mainline.
+    """
+
+    position: int
+    mainline: bool
+
+
+def layout(rank_scores: list[float], config: AuctionConfig) -> list[SlotPlacement]:
+    """Assign page slots to ads already ranked by rank score (desc).
+
+    Ads below ``reserve_score`` are not shown at all; the returned list
+    may therefore be shorter than the input.
+    """
+    placements: list[SlotPlacement] = []
+    mainline_used = 0
+    sidebar_used = 0
+    for score in rank_scores:
+        if score < config.reserve_score:
+            break
+        if mainline_used < config.mainline_slots and score >= config.mainline_reserve:
+            mainline_used += 1
+            placements.append(SlotPlacement(len(placements) + 1, True))
+        elif sidebar_used < config.sidebar_slots:
+            sidebar_used += 1
+            placements.append(SlotPlacement(len(placements) + 1, False))
+        else:
+            break
+    return placements

@@ -1,0 +1,27 @@
+"""Advertiser behaviour models: profiles, bidding styles, materialization."""
+
+from .bidding import BidLevels, MatchMix, sample_bid_levels, sample_match_mix
+from .factory import (
+    IdAllocator,
+    MaterializedAccount,
+    Offer,
+    materialize_account,
+)
+from .fraudulent import sample_fraud_profile
+from .legitimate import sample_legitimate_profile
+from .profiles import ACTIVITY_NORM, AdvertiserProfile
+
+__all__ = [
+    "AdvertiserProfile",
+    "ACTIVITY_NORM",
+    "MatchMix",
+    "BidLevels",
+    "sample_match_mix",
+    "sample_bid_levels",
+    "sample_legitimate_profile",
+    "sample_fraud_profile",
+    "IdAllocator",
+    "MaterializedAccount",
+    "Offer",
+    "materialize_account",
+]

@@ -1,0 +1,348 @@
+"""Materialize behaviour profiles into marketplace entities.
+
+Given an :class:`AdvertiserProfile`, the factory creates the account,
+its campaigns, ads and keyword bids, with creation timestamps staggered
+over the account's life, and pre-samples maintenance (modification)
+events.  After the detection pipeline fixes the account's end time, the
+materialization is trimmed so nothing is "created" after shutdown.
+
+Performance note: only a bounded number of keyword offers per campaign
+enter the auction *index* (``MAX_INDEXED_OFFERS_PER_CAMPAIGN``); very
+large legitimate accounts keep their full ad/keyword inventory for the
+behavioural analyses (Figure 7) while competing in auctions through a
+representative sample.  Activity scaling compensates for volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..auction.quality import quality_score
+from ..config import SimulationConfig
+from ..entities.ad import Ad
+from ..entities.advertiser import Advertiser
+from ..entities.campaign import Campaign
+from ..entities.domains import (
+    AFFILIATE_DOMAINS,
+    SHORTENER_DOMAINS,
+    sample_domain_count,
+    unique_domain,
+)
+from ..entities.enums import MatchType
+from ..entities.keyword import KeywordBid
+from ..taxonomy.adcopy import render_ad
+from ..taxonomy.geography import country as country_info
+from ..taxonomy.keywords import keyword_pool, keyword_weights, risky_keyword_mask
+from ..taxonomy.verticals import vertical as vertical_info
+from .profiles import AdvertiserProfile
+
+__all__ = ["Offer", "MaterializedAccount", "IdAllocator", "materialize_account"]
+
+MAX_INDEXED_OFFERS_PER_CAMPAIGN = 40
+#: Share of an account's ads posted immediately at first-ad time.
+UPFRONT_AD_FRACTION = 0.7
+
+
+class IdAllocator:
+    """Monotonic id source for campaigns and ads."""
+
+    def __init__(self) -> None:
+        self._next_campaign = 0
+        self._next_ad = 0
+
+    def campaign_id(self) -> int:
+        """Next unique campaign id."""
+        self._next_campaign += 1
+        return self._next_campaign
+
+    def ad_id(self) -> int:
+        """Next unique ad id."""
+        self._next_ad += 1
+        return self._next_ad
+
+
+@dataclass
+class Offer:
+    """One auction-eligible (advertiser, ad, keyword bid) unit.
+
+    Quality is precomputed: it depends only on static account/ad/
+    vertical/match-type attributes.  ``kw_index`` is the keyword's
+    position in its vertical's pool, used by the engine's
+    pre-computed match tables.
+    """
+
+    advertiser: Advertiser
+    profile: AdvertiserProfile
+    vertical: str
+    country: str
+    ad: Ad
+    bid: KeywordBid
+    kw_index: int
+    quality: float
+    click_quality: float
+    active_from: float
+
+    @property
+    def max_bid(self) -> float:
+        """The underlying keyword bid's maximum CPC."""
+        return self.bid.max_bid
+
+    @property
+    def match_type(self) -> MatchType:
+        """The underlying keyword bid's match type."""
+        return self.bid.match_type
+
+
+@dataclass
+class MaterializedAccount:
+    """An account plus the side-structures the engine and analyses need.
+
+    ``activity_end`` is filled in by the engine once the detection
+    outcome (or dormancy) fixes when the account stops competing.
+    """
+
+    advertiser: Advertiser
+    profile: AdvertiserProfile
+    activity_end: float = float("inf")
+    offers: list[Offer] = field(default_factory=list)
+    ad_creation_times: list[float] = field(default_factory=list)
+    kw_creation_times: list[float] = field(default_factory=list)
+    ad_mod_times: list[float] = field(default_factory=list)
+    kw_mod_times: list[float] = field(default_factory=list)
+
+    def trim(self, end_time: float) -> None:
+        """Drop everything scheduled after the account's end time."""
+        for campaign in self.advertiser.campaigns:
+            campaign.ads = [a for a in campaign.ads if a.created_day < end_time]
+            campaign.bids = [b for b in campaign.bids if b.created_day < end_time]
+        self.offers = [o for o in self.offers if o.active_from < end_time]
+        self.ad_creation_times = [t for t in self.ad_creation_times if t < end_time]
+        self.kw_creation_times = [t for t in self.kw_creation_times if t < end_time]
+        self.ad_mod_times = [t for t in self.ad_mod_times if t < end_time]
+        self.kw_mod_times = [t for t in self.kw_mod_times if t < end_time]
+
+
+def _creation_times(
+    n_ads: int, first_ad_time: float, horizon: float, rng: np.random.Generator
+) -> list[float]:
+    """Stagger ad creation: a burst up front, the rest over the life."""
+    times = [first_ad_time]
+    for _ in range(n_ads - 1):
+        if rng.random() < UPFRONT_AD_FRACTION:
+            times.append(first_ad_time + float(rng.exponential(0.3)))
+        else:
+            times.append(float(rng.uniform(first_ad_time, max(first_ad_time + 0.5, horizon))))
+    return sorted(min(t, horizon) for t in times)
+
+
+def _destination_domains(
+    profile: AdvertiserProfile, n_ads: int, rng: np.random.Generator
+) -> list[str]:
+    count = sample_domain_count(rng, n_ads, profile.is_fraud)
+    domains = [unique_domain(rng) for _ in range(count)]
+    if profile.is_fraud and rng.random() < 0.15:
+        shared = SHORTENER_DOMAINS + AFFILIATE_DOMAINS
+        domains[int(rng.integers(len(domains)))] = shared[
+            int(rng.integers(len(shared)))
+        ]
+    return domains
+
+
+#: Zipf exponent for fraud keyword choice: fraudsters chase the head of
+#: the demand curve harder (maximum traffic per keyword, Section 5.2),
+#: which also concentrates them onto the same few phrases.
+FRAUD_KEYWORD_ZIPF = 1.8
+
+
+def _sample_keywords(
+    vertical_name: str,
+    count: int,
+    is_fraud: bool,
+    evasion_skill: float,
+    rng: np.random.Generator,
+) -> list[tuple[int, tuple[str, ...]]]:
+    """Sample (pool index, phrase) pairs by Zipf popularity.
+
+    Skilled fraudsters re-draw keywords containing blacklisted brand
+    tokens (with probability ``evasion_skill`` per draw) -- except in
+    impersonation/phishing, where naming the brand is the business.
+    """
+    pool = keyword_pool(vertical_name)
+    exponent = FRAUD_KEYWORD_ZIPF if is_fraud else 1.1
+    weights = keyword_weights(vertical_name, exponent=exponent)
+    avoid_brands = (
+        is_fraud
+        and evasion_skill > 0
+        and vertical_name not in ("impersonation", "phishing")
+    )
+    risky = risky_keyword_mask(vertical_name) if avoid_brands else None
+    picks: list[int] = []
+    for _ in range(count):
+        index = int(rng.choice(len(pool), p=weights))
+        if risky is not None and risky[index] and rng.random() < evasion_skill:
+            safe = [i for i in range(len(pool)) if not risky[i]]
+            if safe:
+                safe_weights = weights[safe] / weights[safe].sum()
+                index = int(safe[int(rng.choice(len(safe), p=safe_weights))])
+        picks.append(index)
+    return [(i, pool[i]) for i in picks]
+
+
+def _mod_events(
+    created: float, horizon: float, rate: float, rng: np.random.Generator
+) -> list[float]:
+    span = max(0.0, horizon - created)
+    if span <= 0 or rate <= 0:
+        return []
+    count = int(rng.poisson(rate * span))
+    if count == 0:
+        return []
+    return [float(t) for t in rng.uniform(created, horizon, size=count)]
+
+
+def materialize_account(
+    advertiser: Advertiser,
+    profile: AdvertiserProfile,
+    first_ad_time: float,
+    horizon: float,
+    config: SimulationConfig,
+    ids: IdAllocator,
+    rng: np.random.Generator,
+) -> MaterializedAccount:
+    """Create campaigns, ads and keyword bids for an account.
+
+    Ads are split round-robin across the profile's campaigns; keyword
+    bids attach to their ad's campaign.  Call
+    :meth:`MaterializedAccount.trim` once the detection pipeline fixes
+    the account's true end time.
+    """
+    account = MaterializedAccount(advertiser=advertiser, profile=profile)
+    campaigns = [
+        Campaign(
+            campaign_id=ids.campaign_id(),
+            advertiser_id=advertiser.advertiser_id,
+            vertical=vertical_name,
+            target_country=target,
+            created_day=first_ad_time,
+        )
+        for vertical_name, target in zip(profile.verticals, profile.target_countries)
+    ]
+    advertiser.campaigns.extend(campaigns)
+    advertiser.record_first_ad(first_ad_time)
+
+    domains = _destination_domains(profile, profile.n_ads, rng)
+    ad_times = _creation_times(profile.n_ads, first_ad_time, horizon, rng)
+    match_types, match_probs = profile.match_mix.as_probs()
+    indexed_per_campaign: dict[int, int] = {c.campaign_id: 0 for c in campaigns}
+    # Evasion is an operator *style*, decided once per account: either
+    # the fraudster works blacklist-safe or they do not.
+    evasive = profile.is_fraud and rng.random() < profile.evasion_skill
+
+    for ad_index, created in enumerate(ad_times):
+        campaign = campaigns[ad_index % len(campaigns)]
+        vert = vertical_info(campaign.vertical)
+        copy = render_ad(campaign.vertical, rng, evasive=evasive)
+        domain = domains[ad_index % len(domains)]
+        ad = Ad(
+            ad_id=ids.ad_id(),
+            campaign_id=campaign.campaign_id,
+            copy=copy,
+            display_domain=domain,
+            destination_domain=domain,
+            created_day=created,
+            engagement=float(rng.lognormal(0.0, 0.25)),
+        )
+        campaign.add_ad(ad)
+        account.ad_creation_times.append(created)
+        account.ad_mod_times.extend(
+            _mod_events(created, horizon, profile.mod_rate_per_entity, rng)
+        )
+
+        keywords = _sample_keywords(
+            campaign.vertical,
+            profile.kw_per_ad,
+            profile.is_fraud,
+            profile.evasion_skill,
+            rng,
+        )
+        seen: set[tuple[tuple[str, ...], MatchType]] = set()
+        for kw_index, keyword in keywords:
+            match_type = match_types[int(rng.choice(len(match_types), p=match_probs))]
+            if (keyword, match_type) in seen:
+                continue
+            seen.add((keyword, match_type))
+            multiplier = profile.bid_levels.multiplier(match_type)
+            if multiplier == 1.0:
+                # Advertisers who keep the platform default keep it
+                # exactly -- the median max bid *is* the default.
+                max_bid = config.auction.default_max_bid
+            else:
+                max_bid = (
+                    config.auction.default_max_bid
+                    * multiplier
+                    * float(np.exp(rng.normal(0.0, 0.15)))
+                )
+            bid = KeywordBid(
+                keyword=keyword,
+                match_type=match_type,
+                max_bid=max(0.05, max_bid),
+                created_day=created,
+            )
+            campaign.add_bid(bid)
+            account.kw_creation_times.append(created)
+            account.kw_mod_times.extend(
+                _mod_events(created, horizon, profile.mod_rate_per_entity, rng)
+            )
+            if indexed_per_campaign[campaign.campaign_id] < MAX_INDEXED_OFFERS_PER_CAMPAIGN:
+                indexed_per_campaign[campaign.campaign_id] += 1
+                account.offers.append(
+                    Offer(
+                        advertiser=advertiser,
+                        profile=profile,
+                        vertical=campaign.vertical,
+                        country=campaign.target_country,
+                        ad=ad,
+                        bid=bid,
+                        kw_index=kw_index,
+                        quality=quality_score(
+                            advertiser.quality * profile.rank_gaming,
+                            ad.engagement,
+                            vert.base_ctr,
+                            match_type,
+                        ),
+                        click_quality=quality_score(
+                            advertiser.quality * profile.realized_ctr_factor,
+                            ad.engagement,
+                            vert.base_ctr,
+                            match_type,
+                        ),
+                        active_from=created,
+                    )
+                )
+
+    # Distribute modification counts back onto entities (coarsely: the
+    # per-entity count only feeds aggregate statistics).
+    _assign_mod_counts(campaigns, account)
+    # Sanity: country info must exist for every campaign target.
+    for campaign in campaigns:
+        country_info(campaign.target_country)
+    return account
+
+
+def _assign_mod_counts(
+    campaigns: list[Campaign], account: MaterializedAccount
+) -> None:
+    ads = [ad for c in campaigns for ad in c.ads]
+    bids = [bid for c in campaigns for bid in c.bids]
+    if ads and account.ad_mod_times:
+        per_ad = len(account.ad_mod_times) // len(ads)
+        remainder = len(account.ad_mod_times) % len(ads)
+        for index, ad in enumerate(ads):
+            ad.modified_count = per_ad + (1 if index < remainder else 0)
+    if bids and account.kw_mod_times:
+        per_bid = len(account.kw_mod_times) // len(bids)
+        remainder = len(account.kw_mod_times) % len(bids)
+        for index, bid in enumerate(bids):
+            bid.modified_count = per_bid + (1 if index < remainder else 0)

@@ -1,0 +1,87 @@
+"""Legitimate advertiser profile sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..entities.enums import AdvertiserKind
+from ..taxonomy.geography import (
+    home_targeting_prob,
+    nonfraud_registration_weights,
+    query_volume_weights,
+)
+from ..taxonomy.verticals import nonfraud_vertical_weights, vertical
+from .bidding import sample_bid_levels, sample_match_mix
+from .profiles import AdvertiserProfile
+
+__all__ = ["sample_legitimate_profile"]
+
+
+def _sample_country(rng: np.random.Generator) -> str:
+    codes, probs = nonfraud_registration_weights()
+    return codes[int(rng.choice(len(codes), p=probs))]
+
+
+def _sample_verticals(rng: np.random.Generator, count: int) -> list[str]:
+    names, probs = nonfraud_vertical_weights()
+    picks = rng.choice(len(names), size=min(count, len(names)), replace=False, p=probs)
+    return [names[int(i)] for i in picks]
+
+
+#: Legitimate advertisers overwhelmingly run campaigns at home; the
+#: per-country home bias in the geography table models *fraud*
+#: targeting (IN-registered fraud chases the US, IN businesses do not).
+LEGIT_HOME_BIAS = 0.85
+
+
+def _target_country(home: str, rng: np.random.Generator) -> str:
+    if rng.random() < max(LEGIT_HOME_BIAS, home_targeting_prob(home)):
+        return home
+    codes, probs = query_volume_weights()
+    return codes[int(rng.choice(len(codes), p=probs))]
+
+
+def sample_legitimate_profile(
+    config: SimulationConfig, rng: np.random.Generator
+) -> AdvertiserProfile:
+    """Draw a legitimate account's behavioural plan.
+
+    Legitimate accounts span many verticals, keep an order of magnitude
+    more ads and keywords than fraud accounts (Figure 7), and have
+    heavy-tailed activity: a few big brands generate most volume.
+    """
+    behavior = config.behavior
+    country = _sample_country(rng)
+    n_campaigns = 1 + int(rng.random() < 0.35) + int(rng.random() < 0.15)
+    verticals = _sample_verticals(rng, n_campaigns)
+    targets = tuple(_target_country(country, rng) for _ in verticals)
+
+    n_ads = max(1, int(rng.lognormal(behavior.nonfraud_ads_mu, behavior.nonfraud_ads_sigma)))
+    kw_per_ad = max(
+        1,
+        int(rng.lognormal(behavior.nonfraud_kw_per_ad_mu, behavior.nonfraud_kw_per_ad_sigma)),
+    )
+    # Bigger accounts (more ads) also push more traffic.
+    activity = float(rng.lognormal(0.0, behavior.activity_sigma)) * n_ads**0.3
+    quality = float(rng.lognormal(0.0, 0.35))
+    value = vertical(verticals[0]).value_per_click
+
+    return AdvertiserProfile(
+        kind=AdvertiserKind.LEGITIMATE,
+        country=country,
+        verticals=tuple(verticals),
+        target_countries=targets,
+        n_ads=n_ads,
+        kw_per_ad=kw_per_ad,
+        activity_scale=activity,
+        quality=quality,
+        match_mix=sample_match_mix(AdvertiserKind.LEGITIMATE, rng),
+        bid_levels=sample_bid_levels(
+            AdvertiserKind.LEGITIMATE, value, rng, config.auction
+        ),
+        evasion_skill=0.0,
+        uses_stolen_payment=False,
+        first_ad_delay=float(rng.exponential(3.0)),
+        mod_rate_per_entity=0.004 * float(rng.lognormal(0.0, 0.5)),
+    )

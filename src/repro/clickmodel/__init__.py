@@ -1,0 +1,6 @@
+"""User click model: position bias plus ad engagement."""
+
+from .engagement import click_probability, sample_clicks
+from .position_bias import examination_probability
+
+__all__ = ["click_probability", "sample_clicks", "examination_probability"]

@@ -1,0 +1,41 @@
+"""Click sampling for shown ads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..auction.gsp import ShownAd
+from ..config import ClickConfig
+from .position_bias import examination_probability
+
+__all__ = ["click_probability", "sample_clicks"]
+
+
+def click_probability(shown: ShownAd, config: ClickConfig) -> float:
+    """Probability a random user clicks this shown ad.
+
+    P(click) = P(examine) x realized click quality.  The realized
+    quality can differ from the estimate used for ranking (fraud games
+    the estimator upward).
+    """
+    examine = examination_probability(shown.placement, config)
+    return min(1.0, examine * shown.candidate.realized_click_quality)
+
+
+def sample_clicks(
+    shown: ShownAd,
+    weight: float,
+    config: ClickConfig,
+    rng: np.random.Generator,
+) -> int:
+    """Sample how many of ``weight`` users click the ad.
+
+    Clicks are Poisson with mean ``weight x P(click)`` -- the standard
+    thin-stream approximation for a weighted query sample.
+    """
+    if weight <= 0:
+        raise ValueError("weight must be > 0")
+    mean = weight * click_probability(shown, config)
+    if mean <= 0:
+        return 0
+    return int(rng.poisson(mean))

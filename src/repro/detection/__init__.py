@@ -1,0 +1,36 @@
+"""Anti-fraud detection pipeline and baseline detectors."""
+
+from .anomaly import (
+    AnomalyScorer,
+    DetectorEvaluation,
+    account_features,
+    evaluate_anomaly_detector,
+)
+
+from .content_filter import content_filter_catch_prob, evaluate_content
+from .hazards import hardening_multiplier, sample_exponential_delay
+from .payment import sample_payment_detection
+from .pipeline import DetectionOutcome, DetectionPipeline
+from .policy import PolicyChange, PolicyEngine
+from .rate_monitor import expected_impression_rate, rate_hazard, sample_rate_detection
+from .registration import screen_registration
+
+__all__ = [
+    "AnomalyScorer",
+    "DetectorEvaluation",
+    "account_features",
+    "evaluate_anomaly_detector",
+    "DetectionOutcome",
+    "DetectionPipeline",
+    "PolicyChange",
+    "PolicyEngine",
+    "content_filter_catch_prob",
+    "evaluate_content",
+    "hardening_multiplier",
+    "sample_exponential_delay",
+    "sample_payment_detection",
+    "expected_impression_rate",
+    "rate_hazard",
+    "sample_rate_detection",
+    "screen_registration",
+]

@@ -1,0 +1,35 @@
+"""Payment-instrument fraud detection.
+
+"For the portion of fraudulent advertisers who use illegitimate payment
+mechanisms, fraud is often detectable in the form of chargebacks or
+other indications from the payment network" (Section 3.2).  Chargeback
+signals arrive with a lognormal delay after the account starts
+spending.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..behavior.profiles import AdvertiserProfile
+from ..config import DetectionConfig
+
+__all__ = ["sample_payment_detection"]
+
+
+def sample_payment_detection(
+    profile: AdvertiserProfile,
+    first_ad_time: float,
+    config: DetectionConfig,
+    hardening: float,
+    rng: np.random.Generator,
+) -> float | None:
+    """Shutdown time from payment-network signals, or None.
+
+    Only accounts on stolen instruments are exposed; hardening shortens
+    the delay (better payment-network integration over time).
+    """
+    if not profile.uses_stolen_payment:
+        return None
+    delay = float(rng.lognormal(config.chargeback_mu, config.chargeback_sigma))
+    return first_ad_time + delay / hardening

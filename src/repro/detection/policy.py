@@ -1,0 +1,97 @@
+"""Policy engine and change log.
+
+The paper's most dramatic intervention: early in Year 2 the platform
+prohibited marketing of third-party technical support services outright
+(previously only false affiliation claims were banned).  The policy
+engine applies that change: tech-support accounts alive at the ban are
+swept shortly after, and accounts posting tech-support ads *after* the
+ban are caught almost immediately by the newly-blacklisted vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import DetectionConfig
+from ..matching.blacklist import Blacklist
+
+__all__ = ["PolicyChange", "PolicyEngine"]
+
+BANNED_VERTICAL = "techsupport"
+#: Mean days from ban to sweep for accounts alive at the ban.
+SWEEP_MEAN_DAYS = 6.0
+#: Content-filter catch probability for banned-vertical ads post-ban.
+POST_BAN_CATCH_PROB = 0.97
+
+
+@dataclass(frozen=True)
+class PolicyChange:
+    """One entry in the policy change log."""
+
+    day: float
+    description: str
+    banned_vertical: str
+
+
+@dataclass
+class PolicyEngine:
+    """Applies policy changes to accounts and the blacklist."""
+
+    config: DetectionConfig
+    changes: list[PolicyChange] = field(default_factory=list)
+
+    @classmethod
+    def from_config(cls, config: DetectionConfig) -> "PolicyEngine":
+        """Build the engine with the configured change log."""
+        engine = cls(config=config)
+        if config.techsupport_ban_day is not None:
+            engine.changes.append(
+                PolicyChange(
+                    day=config.techsupport_ban_day,
+                    description=(
+                        "Prohibit marketing of third-party technical "
+                        "support services"
+                    ),
+                    banned_vertical=BANNED_VERTICAL,
+                )
+            )
+        return engine
+
+    def apply_to_blacklist(self, blacklist: Blacklist, day: float) -> None:
+        """Enact any change effective at ``day`` on the blacklist."""
+        for change in self.changes:
+            if change.day <= day and change.banned_vertical == BANNED_VERTICAL:
+                blacklist.enact_techsupport_ban()
+
+    def vertical_banned_at(self, vertical: str, time: float) -> bool:
+        """Whether a policy bans the vertical at the given time."""
+        return any(
+            change.banned_vertical == vertical and time >= change.day
+            for change in self.changes
+        )
+
+    def sweep_time(
+        self,
+        verticals: tuple[str, ...],
+        created_time: float,
+        first_ad_time: float,
+        rng: np.random.Generator,
+    ) -> float | None:
+        """Shutdown time imposed by policy changes, or None.
+
+        Accounts in a banned vertical that exist before the ban are
+        swept shortly after it; accounts that *start* in a banned
+        vertical after the ban are caught almost immediately.
+        """
+        times: list[float] = []
+        for change in self.changes:
+            if change.banned_vertical not in verticals:
+                continue
+            if first_ad_time >= change.day:
+                if rng.random() < POST_BAN_CATCH_PROB:
+                    times.append(first_ad_time + float(rng.exponential(0.3)))
+            else:
+                times.append(change.day + float(rng.exponential(SWEEP_MEAN_DAYS)))
+        return min(times) if times else None

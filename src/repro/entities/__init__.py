@@ -1,0 +1,30 @@
+"""Marketplace entities: advertisers, campaigns, ads, keyword bids."""
+
+from .ad import Ad
+from .advertiser import Advertiser
+from .campaign import Campaign
+from .domains import (
+    AFFILIATE_DOMAINS,
+    SHORTENER_DOMAINS,
+    sample_domain_count,
+    shared_domains,
+    unique_domain,
+)
+from .enums import AccountStatus, AdvertiserKind, MatchType, ShutdownReason
+from .keyword import KeywordBid
+
+__all__ = [
+    "Ad",
+    "Advertiser",
+    "Campaign",
+    "KeywordBid",
+    "AccountStatus",
+    "AdvertiserKind",
+    "MatchType",
+    "ShutdownReason",
+    "AFFILIATE_DOMAINS",
+    "SHORTENER_DOMAINS",
+    "sample_domain_count",
+    "shared_domains",
+    "unique_domain",
+]

@@ -1,0 +1,44 @@
+"""Advertisement entities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..taxonomy.adcopy import AdCopy
+
+__all__ = ["Ad"]
+
+
+@dataclass
+class Ad:
+    """A single advertisement.
+
+    Attributes:
+        ad_id: Globally unique identifier.
+        campaign_id: Owning campaign.
+        copy: Title/body text shown to users.
+        display_domain: Domain shown in the ad.
+        destination_domain: Domain the click lands on (may be a
+            shortener or affiliate network distinct from the display).
+        created_day: Simulation time of creation.
+        modified_count: Number of edits after creation (Figure 7c).
+        engagement: Relative attractiveness multiplier applied to the
+            vertical's base click-through rate.
+    """
+
+    ad_id: int
+    campaign_id: int
+    copy: AdCopy
+    display_domain: str
+    destination_domain: str
+    created_day: float
+    engagement: float = 1.0
+    modified_count: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.engagement <= 0:
+            raise ValueError("engagement must be > 0")
+
+    def record_modification(self) -> None:
+        """Count one edit to this ad."""
+        self.modified_count += 1

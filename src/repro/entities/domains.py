@@ -1,0 +1,77 @@
+"""Domain and URL generation.
+
+Section 5.2.4: Bing blacklists domains aggressively, so fraudulent
+advertisers use URLs "typically unique to that account"; the only
+domains *shared* between fraudulent advertisers are third-party services
+that also serve legitimate traffic -- URL shorteners and affiliate
+networks.  74% of fraudulent advertisers use a single domain and 96% use
+three or fewer, but accounts with multiple ads average ~3 domains with a
+90th percentile near 20.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SHORTENER_DOMAINS",
+    "AFFILIATE_DOMAINS",
+    "shared_domains",
+    "unique_domain",
+    "sample_domain_count",
+]
+
+#: URL-shortening services (shared, also serve non-fraudulent traffic).
+SHORTENER_DOMAINS: tuple[str, ...] = ("lnk.ly", "shrt.io", "tny.cc")
+
+#: Affiliate networks fraudsters monetize through (e.g. MaxBounty-like).
+AFFILIATE_DOMAINS: tuple[str, ...] = (
+    "bountymax.com",
+    "clickpays.net",
+    "leadriver.com",
+    "offervault.biz",
+)
+
+_SYLLABLES = (
+    "soft", "tech", "deal", "shop", "best", "pro", "fast", "easy", "top",
+    "max", "vip", "go", "my", "the", "web", "net", "hub", "zone", "spot",
+    "mart", "store", "plaza", "world", "land", "city",
+)
+_TLDS = (".com", ".net", ".info", ".biz", ".org", ".co")
+
+
+def shared_domains() -> tuple[str, ...]:
+    """All third-party domains that may appear across many accounts."""
+    return SHORTENER_DOMAINS + AFFILIATE_DOMAINS
+
+
+def unique_domain(rng: np.random.Generator) -> str:
+    """Generate a pseudo-random domain effectively unique to one account."""
+    parts = [
+        _SYLLABLES[int(rng.integers(len(_SYLLABLES)))] for _ in range(2)
+    ]
+    suffix = int(rng.integers(10, 9999))
+    tld = _TLDS[int(rng.integers(len(_TLDS)))]
+    return f"{''.join(parts)}{suffix}{tld}"
+
+
+def sample_domain_count(
+    rng: np.random.Generator, n_ads: int, is_fraud: bool
+) -> int:
+    """Number of distinct destination domains an account uses.
+
+    Fraud accounts are mostly single-domain (shutdown comes too fast to
+    rotate), but multi-ad accounts rotate more: mean ~3, long tail to ~20.
+    """
+    if n_ads <= 1:
+        return 1
+    if not is_fraud:
+        # Legitimate advertisers typically anchor everything on one site.
+        return 1 if rng.random() < 0.9 else 2
+    if rng.random() < 0.55:
+        return 1
+    # Heavy-tailed rotation for multi-ad fraud accounts.
+    count = 1 + int(rng.geometric(0.35))
+    if rng.random() < 0.1:
+        count += int(rng.integers(5, 18))
+    return min(count, max(1, n_ads))

@@ -1,0 +1,48 @@
+"""Keyword bids."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .enums import MatchType
+
+__all__ = ["KeywordBid"]
+
+
+@dataclass
+class KeywordBid:
+    """A (keyword phrase, match type, max bid) offer.
+
+    Advertisers "may also specify a different maximum bid for each match
+    type and keyword combination" (Section 5.3), so the bid lives on the
+    (keyword, match type) pair rather than on the keyword alone.
+
+    Attributes:
+        keyword: Normalized keyword phrase tokens.
+        match_type: Exact, phrase or broad matching.
+        max_bid: Maximum cost-per-click the advertiser will pay, USD.
+        created_day: Simulation time the bid was created.
+        modified_count: How many times the bid was edited afterwards
+            (Figure 7d counts keyword-set modifications).
+    """
+
+    keyword: tuple[str, ...]
+    match_type: MatchType
+    max_bid: float
+    created_day: float
+    modified_count: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if not self.keyword:
+            raise ValueError("keyword phrase must be non-empty")
+        if self.max_bid <= 0:
+            raise ValueError("max_bid must be > 0")
+
+    @property
+    def phrase(self) -> str:
+        """The keyword as a human-readable string."""
+        return " ".join(self.keyword)
+
+    def record_modification(self) -> None:
+        """Count one edit to this bid."""
+        self.modified_count += 1

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError` so callers can catch package-level failures with a
+single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A simulation or analysis configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was asked to operate on unsuitable data."""
+
+
+class SubsetError(AnalysisError):
+    """A subset could not be constructed (e.g. empty candidate pool)."""
+
+
+class RecordError(ReproError):
+    """A record store was used inconsistently (schema mismatch, etc.)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment failed to run or an unknown experiment was requested."""

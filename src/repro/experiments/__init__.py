@@ -1,0 +1,26 @@
+"""Per-figure/table experiments reproducing the paper's evaluation.
+
+Run them from the command line::
+
+    python -m repro.experiments all
+
+or programmatically::
+
+    from repro import default_config
+    from repro.experiments import ExperimentContext, run_experiment
+    output = run_experiment("fig2", ExperimentContext(default_config()))
+    print(output.render())
+"""
+
+from .base import Chart, ExperimentContext, ExperimentOutput, Table
+from .registry import EXPERIMENTS, experiment_ids, run_experiment
+
+__all__ = [
+    "Chart",
+    "Table",
+    "ExperimentContext",
+    "ExperimentOutput",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "run_experiment",
+]

@@ -1,0 +1,42 @@
+"""Figure 2: CDFs of fraudulent account lifetimes."""
+
+from __future__ import annotations
+
+from ..analysis.lifetimes import fraud_lifetimes, preads_shutdown_share
+from .base import Chart, ExperimentContext, ExperimentOutput
+
+EXPERIMENT_ID = "fig2"
+TITLE = "Fraudulent account lifetimes (from registration and first ad)"
+
+
+def run(context: ExperimentContext) -> ExperimentOutput:
+    """Regenerate this artifact from the shared simulation context."""
+    curves = fraud_lifetimes(context.result)
+    populated = {k: v for k, v in curves.curves.items() if len(v) > 0}
+    year1_ad = curves.curves.get("Year 1 (ad)")
+    year1_account = curves.curves.get("Year 1 (account)")
+    metrics = {"pre_ad_shutdown_share": preads_shutdown_share(context.result)}
+    if year1_account is not None and len(year1_account):
+        metrics["median_lifetime_from_registration_y1"] = year1_account.median
+    if year1_ad is not None and len(year1_ad):
+        metrics["median_lifetime_from_first_ad_y1"] = year1_ad.median
+        metrics["p90_lifetime_from_first_ad_y1"] = year1_ad.quantile(0.9)
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        charts=[
+            Chart(
+                title="Lifetime CDFs (days, log axis)",
+                cdfs=populated,
+                logx=True,
+                xlabel="days",
+            )
+        ],
+        metrics=metrics,
+        notes=[
+            "Paper: median fraud account survives <1 day from creation; "
+            "most posting accounts die within ~8h of the first ad and 90% "
+            "of shutdowns land within 4 days of posting.  Lifetimes are "
+            "similar in both years."
+        ],
+    )

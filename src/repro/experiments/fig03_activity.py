@@ -1,0 +1,57 @@
+"""Figure 3: weekly aggregate fraudulent activity over time."""
+
+from __future__ import annotations
+
+from ..analysis.activity import weekly_fraud_activity
+from .base import Chart, ExperimentContext, ExperimentOutput
+
+EXPERIMENT_ID = "fig3"
+TITLE = "Weekly fraudulent spend and clicks, in/out of the 90-day window"
+
+
+def run(context: ExperimentContext) -> ExperimentOutput:
+    """Regenerate this artifact from the shared simulation context."""
+    activity = weekly_fraud_activity(context.result)
+    weeks = activity.weeks.astype(float)
+    spend_chart = Chart(
+        title="Normalized weekly fraud spend",
+        series={
+            "in-window": (weeks, activity.spend_in_window),
+            "out-of-window": (weeks, activity.spend_out_of_window),
+        },
+        xlabel="week",
+        ylabel="normalized spend",
+    )
+    clicks_chart = Chart(
+        title="Weekly fraud clicks",
+        series={
+            "in-window": (weeks, activity.clicks_in_window),
+            "out-of-window": (weeks, activity.clicks_out_of_window),
+        },
+        xlabel="week",
+        ylabel="clicks",
+    )
+    half = max(1, len(weeks) // 2)
+    early = float(activity.spend_in_window[2:half].mean())
+    late = float(activity.spend_in_window[half:-2].mean()) if len(weeks) > 6 else early
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        charts=[spend_chart, clicks_chart],
+        metrics={
+            "late_over_early_spend": late / max(early, 1e-12),
+            "out_of_window_share": float(
+                activity.spend_out_of_window.sum()
+                / max(
+                    1e-12,
+                    activity.spend_in_window.sum()
+                    + activity.spend_out_of_window.sum(),
+                )
+            ),
+        },
+        notes=[
+            "Paper: in-window fraudulent activity nearly halves across the "
+            "study; the out-of-window series necessarily decays to zero "
+            "about three months before the end."
+        ],
+    )

@@ -1,0 +1,39 @@
+"""Figure 5: impression-rate distributions, fraud vs non-fraud."""
+
+from __future__ import annotations
+
+from ..analysis.rates import impression_rates
+from .base import Chart, ExperimentContext, ExperimentOutput
+
+EXPERIMENT_ID = "fig5"
+TITLE = "Impression rate (impressions/day) per advertiser"
+
+
+def run(context: ExperimentContext) -> ExperimentOutput:
+    """Regenerate this artifact from the shared simulation context."""
+    window = context.primary_window()
+    rates = impression_rates(context.result, window)
+    metrics = {}
+    if len(rates.fraud) and len(rates.nonfraud):
+        metrics["fraud_median_rate"] = rates.fraud.median
+        metrics["nonfraud_median_rate"] = rates.nonfraud.median
+        metrics["median_ratio"] = rates.fraud.median / max(
+            rates.nonfraud.median, 1e-12
+        )
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        charts=[
+            Chart(
+                title=f"Impression rate CDFs ({window.label})",
+                cdfs={"Fraud": rates.fraud, "Nonfraud": rates.nonfraud},
+                logx=True,
+                xlabel="impressions per day",
+            )
+        ],
+        metrics=metrics,
+        notes=[
+            "Paper: fraudsters show ads more rapidly than legitimate "
+            "counterparts -- the fraud CDF sits clearly to the right."
+        ],
+    )

@@ -1,0 +1,80 @@
+"""Figure 9: match-type usage and bid levels per advertiser."""
+
+from __future__ import annotations
+
+from ..analysis.bidding import (
+    above_default_share,
+    bid_level_distributions,
+    match_mix_distributions,
+)
+from .base import Chart, ExperimentContext, ExperimentOutput
+
+EXPERIMENT_ID = "fig9"
+TITLE = "Use of exact/phrase/broad matching and bids per match type"
+
+_SUBSETS = (
+    "F with clicks",
+    "NF with clicks",
+    "F spend weight",
+    "NF spend match",
+    "F volume weight",
+    "NF volume match",
+    "NF rate match",
+)
+
+
+def run(context: ExperimentContext) -> ExperimentOutput:
+    """Regenerate this artifact from the shared simulation context."""
+    window = context.primary_window()
+    builder = context.subsets(window)
+    subsets = {name: builder.build(name) for name in _SUBSETS}
+    mixes = match_mix_distributions(subsets)
+    levels = bid_level_distributions(
+        subsets, context.config.auction.default_max_bid
+    )
+    charts = []
+    for match_name, panel in (("broad", "(a)"), ("exact", "(b)"), ("phrase", "(c)")):
+        charts.append(
+            Chart(
+                title=f"{panel} Proportion of bids that are '{match_name}'",
+                cdfs={
+                    k: v for k, v in mixes.curves[match_name].items() if len(v)
+                },
+                xlabel="proportion of advertiser's bids",
+            )
+        )
+    for match_name, panel in (("broad", "(d)"), ("exact", "(e)"), ("phrase", "(f)")):
+        charts.append(
+            Chart(
+                title=f"{panel} Average '{match_name}' bid (normalized by default)",
+                cdfs={
+                    k: v for k, v in levels.curves[match_name].items() if len(v)
+                },
+                logx=True,
+                xlabel="normalized average bid",
+            )
+        )
+    fraud_exact = mixes.curves["exact"].get("F with clicks")
+    nonfraud_exact = mixes.curves["exact"].get("NF with clicks")
+    metrics = {
+        "above_default_both_fraud": above_default_share(subsets["F with clicks"]),
+        "above_default_both_nonfraud": above_default_share(
+            subsets["NF with clicks"]
+        ),
+    }
+    if fraud_exact is not None and len(fraud_exact):
+        metrics["fraud_share_with_no_exact"] = fraud_exact.at(0.0)
+    if nonfraud_exact is not None and len(nonfraud_exact):
+        metrics["nonfraud_share_with_no_exact"] = nonfraud_exact.at(0.0)
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        charts=charts,
+        metrics=metrics,
+        notes=[
+            "Paper: fraud skews away from exact matching toward "
+            "phrase/broad; median max bids equal the default for both "
+            "populations; ~17% of fraud bids above default on both exact "
+            "and phrase vs roughly double that for legitimate advertisers."
+        ],
+    )

@@ -1,0 +1,47 @@
+"""Figure 12: fraud competition's effect on non-fraud ad positions."""
+
+from __future__ import annotations
+
+from ..analysis.competition import position_distributions, top_position_probability
+from .base import Chart, ExperimentContext, ExperimentOutput
+
+EXPERIMENT_ID = "fig12"
+TITLE = "Ad position with/without fraud competition (non-fraudulent)"
+
+SUBSETS = ("NF with clicks", "NF volume weight")
+
+
+def run(context: ExperimentContext) -> ExperimentOutput:
+    """Regenerate this artifact from the shared simulation context."""
+    window = context.primary_window()
+    builder = context.subsets(window)
+    subsets = {name: builder.build(name) for name in SUBSETS}
+    analyzer = context.analyzer(window)
+    curves = position_distributions(analyzer, subsets)
+    populated = {k: v for k, v in curves.curves.items() if len(v)}
+    organic = top_position_probability(
+        analyzer, subsets["NF with clicks"], influenced=False
+    )
+    influenced = top_position_probability(
+        analyzer, subsets["NF with clicks"], influenced=True
+    )
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        charts=[
+            Chart(
+                title=f"Ad position CDFs ({window.label})",
+                cdfs=populated,
+                xlabel="ad position",
+            )
+        ],
+        metrics={
+            "nf_top_position_organic": organic,
+            "nf_top_position_influenced": influenced,
+        },
+        notes=[
+            "Paper: the median non-fraudulent advertiser reaches the top "
+            "slot ~20% of the time organically, ~10% under fraud "
+            "competition -- roughly one position lost."
+        ],
+    )

@@ -1,0 +1,48 @@
+"""Figure 16: fraud-on-fraud competition's effect on fraud CTR."""
+
+from __future__ import annotations
+
+from ..analysis.competition import ctr_distributions
+from .base import Chart, ExperimentContext, ExperimentOutput
+
+EXPERIMENT_ID = "fig16"
+TITLE = "CTR with/without fraud competition (fraudulent, dubious verticals)"
+
+SUBSETS = ("F with clicks", "F volume weight")
+
+
+def run(context: ExperimentContext) -> ExperimentOutput:
+    """Regenerate this artifact from the shared simulation context."""
+    window = context.primary_window()
+    builder = context.subsets(window)
+    subsets = {name: builder.build(name) for name in SUBSETS}
+    analyzer = context.analyzer(window, dubious_only=True)
+    curves = ctr_distributions(analyzer, subsets)
+    populated = {k: v for k, v in curves.curves.items() if len(v)}
+    metrics = {}
+    organic = populated.get("F with clicks (organic)")
+    influenced = populated.get("F with clicks (influenced)")
+    if organic is not None and influenced is not None:
+        metrics["f_near_zero_ctr_organic"] = organic.at(1e-4)
+        metrics["f_near_zero_ctr_influenced"] = influenced.at(1e-4)
+        metrics["f_median_ctr_organic"] = organic.median
+        metrics["f_median_ctr_influenced"] = influenced.median
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        charts=[
+            Chart(
+                title=f"Average CTR per fraud advertiser ({window.label})",
+                cdfs=populated,
+                logx=True,
+                xlabel="average CTR",
+            )
+        ],
+        metrics=metrics,
+        notes=[
+            "Paper: fraud advertisers are accustomed to high-fraud "
+            "competition; the near-zero-CTR share jumps from a few "
+            "percent to ~a third, but the median moves much less than "
+            "for non-fraudulent advertisers."
+        ],
+    )

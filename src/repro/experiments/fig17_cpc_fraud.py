@@ -1,0 +1,44 @@
+"""Figure 17: fraud-on-fraud competition's effect on fraud CPC."""
+
+from __future__ import annotations
+
+from ..analysis.competition import cpc_distributions
+from .base import Chart, ExperimentContext, ExperimentOutput
+
+EXPERIMENT_ID = "fig17"
+TITLE = "CPC with/without fraud competition (fraudulent, dubious verticals)"
+
+SUBSETS = ("F with clicks", "F volume weight")
+
+
+def run(context: ExperimentContext) -> ExperimentOutput:
+    """Regenerate this artifact from the shared simulation context."""
+    window = context.primary_window()
+    builder = context.subsets(window)
+    subsets = {name: builder.build(name) for name in SUBSETS}
+    norm_subset = builder.build("NF with clicks")
+    analyzer = context.analyzer(window, dubious_only=True)
+    curves = cpc_distributions(analyzer, subsets, norm_subset)
+    populated = {k: v for k, v in curves.curves.items() if len(v)}
+    metrics = {"cpc_norm_usd": curves.norm}
+    organic = populated.get("F with clicks (organic)")
+    influenced = populated.get("F with clicks (influenced)")
+    if organic is not None and influenced is not None and organic.median > 0:
+        metrics["f_cpc_increase_factor"] = influenced.median / organic.median
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        charts=[
+            Chart(
+                title=f"Normalized average CPC per fraud advertiser ({window.label})",
+                cdfs=populated,
+                logx=True,
+                xlabel="CPC / median organic CPC of 'NF with clicks'",
+            )
+        ],
+        metrics=metrics,
+        notes=[
+            "Paper: fraud CPC roughly doubles when competing with other "
+            "fraud, across all fraud subsets."
+        ],
+    )

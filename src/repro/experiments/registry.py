@@ -1,0 +1,80 @@
+"""Experiment registry: id -> (title, runner)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ExperimentError
+from .base import ExperimentContext, ExperimentOutput
+from . import (
+    fig01_registrations,
+    fig02_lifetimes,
+    fig03_activity,
+    fig04_concentration,
+    fig05_rates,
+    fig06_rate_clicks,
+    fig07_targeting,
+    fig08_verticals,
+    fig09_bidding,
+    fig10_affected_impressions,
+    fig11_affected_spend,
+    fig12_position_nonfraud,
+    fig13_position_fraud,
+    fig14_ctr_nonfraud,
+    fig15_cpc_nonfraud,
+    fig16_ctr_fraud,
+    fig17_cpc_fraud,
+    tab01_countries,
+    tab02_example_ads,
+    tab03_click_countries,
+    tab04_match_types,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+_MODULES = (
+    fig01_registrations,
+    fig02_lifetimes,
+    fig03_activity,
+    fig04_concentration,
+    fig05_rates,
+    fig06_rate_clicks,
+    fig07_targeting,
+    fig08_verticals,
+    fig09_bidding,
+    fig10_affected_impressions,
+    fig11_affected_spend,
+    fig12_position_nonfraud,
+    fig13_position_fraud,
+    fig14_ctr_nonfraud,
+    fig15_cpc_nonfraud,
+    fig16_ctr_fraud,
+    fig17_cpc_fraud,
+    tab01_countries,
+    tab02_example_ads,
+    tab03_click_countries,
+    tab04_match_types,
+)
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentContext], ExperimentOutput]]] = {
+    module.EXPERIMENT_ID: (module.TITLE, module.run) for module in _MODULES
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, in paper order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str, context: ExperimentContext
+) -> ExperimentOutput:
+    """Run one experiment by id against the shared context."""
+    try:
+        _, runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return runner(context)

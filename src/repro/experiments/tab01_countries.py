@@ -1,0 +1,45 @@
+"""Table 1: top-five registration countries of fraudulent advertisers."""
+
+from __future__ import annotations
+
+from ..analysis.geography import registration_country_table
+from .base import ExperimentContext, ExperimentOutput, Table
+
+EXPERIMENT_ID = "tab1"
+TITLE = "Top-five countries of fraudulent advertisers at registration"
+
+SUBSETS = ("Fraud", "F with clicks", "F volume weight", "F spend weight")
+
+
+def run(context: ExperimentContext) -> ExperimentOutput:
+    """Regenerate this artifact from the shared simulation context."""
+    builder = context.subsets()
+    subsets = {name: builder.build(name) for name in SUBSETS}
+    table = registration_country_table(subsets, top=5)
+    rows = []
+    for name in SUBSETS:
+        entries = table.get(name, [])
+        row = [name]
+        for country, pct in entries:
+            row.append(f"{country} {pct:.1f}")
+        while len(row) < 6:
+            row.append("-")
+        rows.append(row)
+    top_country, top_pct = (table["Fraud"][0] if table.get("Fraud") else ("?", 0.0))
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        tables=[
+            Table(
+                title="Top-5 registration countries per fraud subset (%)",
+                headers=["subset", "#1", "#2", "#3", "#4", "#5"],
+                rows=rows,
+            )
+        ],
+        metrics={"top_country_share": top_pct / 100.0},
+        notes=[
+            "Paper ('all fraud' row): US 50.3, IN 17.2, GB 14.3, BR 2.5, "
+            "AU 1.8 -- fraud registrations skew to English-speaking "
+            "countries, primarily the US and India."
+        ],
+    )

@@ -1,0 +1,31 @@
+"""Table 2: example ads from popular fraud categories."""
+
+from __future__ import annotations
+
+from ..taxonomy.adcopy import sample_table2
+from .base import ExperimentContext, ExperimentOutput, Table
+
+EXPERIMENT_ID = "tab2"
+TITLE = "Example ads from selected popular categories"
+
+
+def run(context: ExperimentContext) -> ExperimentOutput:
+    """Regenerate this artifact from the shared simulation context."""
+    rows = [[cat, title, body] for cat, title, body in sample_table2()]
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        tables=[
+            Table(
+                title="Representative ad copy per category",
+                headers=["category", "ad title", "ad body"],
+                rows=rows,
+            )
+        ],
+        metrics={"n_categories": float(len(rows))},
+        notes=[
+            "Brand names are fictional stand-ins (the paper shows real "
+            "trademarks: COACH, Discord, Target); the copy style mirrors "
+            "the paper's examples."
+        ],
+    )

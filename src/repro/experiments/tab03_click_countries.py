@@ -1,0 +1,45 @@
+"""Table 3: country distribution of fraudulent clicks."""
+
+from __future__ import annotations
+
+from ..analysis.geography import fraud_clicks_by_country
+from .base import ExperimentContext, ExperimentOutput, Table
+
+EXPERIMENT_ID = "tab3"
+TITLE = "Country distribution of fraudulent clicks"
+
+
+def run(context: ExperimentContext) -> ExperimentOutput:
+    """Regenerate this artifact from the shared simulation context."""
+    window = context.primary_window()
+    rows_data = fraud_clicks_by_country(context.result, window)
+    rows = [
+        [
+            r.country,
+            f"{100 * r.share_of_fraud:.1f}%",
+            f"{100 * r.share_of_country:.2f}%",
+        ]
+        for r in rows_data[:10]
+    ]
+    metrics = {}
+    if rows_data:
+        metrics["top_country_share_of_fraud"] = rows_data[0].share_of_fraud
+        dirtiest = max(rows_data, key=lambda r: r.share_of_country)
+        metrics["dirtiest_country_fraud_share"] = dirtiest.share_of_country
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        tables=[
+            Table(
+                title=f"Fraud clicks by country ({window.label})",
+                headers=["country", "% of fraud", "% of country"],
+                rows=rows,
+            )
+        ],
+        metrics=metrics,
+        notes=[
+            "Paper: US 61% of fraud clicks (<2% of US clicks); Brazil has "
+            "the greatest per-country fraud share (<6%); UK and France "
+            "are notably cleaner (<1%)."
+        ],
+    )

@@ -1,0 +1,49 @@
+"""Table 4: match-type distribution of clicks, fraud vs non-fraud."""
+
+from __future__ import annotations
+
+from ..analysis.bidding import clicks_by_match_type
+from .base import ExperimentContext, ExperimentOutput, Table
+
+EXPERIMENT_ID = "tab4"
+TITLE = "Match-type distribution of clicks on fraudulent ads"
+
+
+def run(context: ExperimentContext) -> ExperimentOutput:
+    """Regenerate this artifact from the shared simulation context."""
+    window = context.primary_window()
+    rows_data = clicks_by_match_type(context.result, window)
+    rows = [
+        [
+            r.match_type,
+            f"{100 * r.fraud_click_share:.2f}%",
+            f"{100 * r.fraud_share_of_type:.2f}%",
+            f"{100 * r.nonfraud_click_share:.2f}%",
+        ]
+        for r in rows_data
+    ]
+    by_type = {r.match_type: r for r in rows_data}
+    metrics = {}
+    if "phrase" in by_type:
+        metrics["fraud_phrase_share"] = by_type["phrase"].fraud_click_share
+        metrics["nonfraud_phrase_share"] = by_type["phrase"].nonfraud_click_share
+    if "exact" in by_type:
+        metrics["fraud_exact_share"] = by_type["exact"].fraud_click_share
+        metrics["nonfraud_exact_share"] = by_type["exact"].nonfraud_click_share
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        tables=[
+            Table(
+                title=f"Clicks by match type ({window.label})",
+                headers=["type", "% of fraud", "% of type", "non-fraudulent %"],
+                rows=rows,
+            )
+        ],
+        metrics=metrics,
+        notes=[
+            "Paper: exact 61.6% (fraud) vs 67.9% (non-fraud); phrase is "
+            "considerably over-represented for fraud (31.1% vs 23.3%); "
+            "broad 7.3% vs 8.8%."
+        ],
+    )

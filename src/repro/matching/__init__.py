@@ -1,0 +1,21 @@
+"""Query/keyword matching, normalization, blacklists and evasion."""
+
+from .blacklist import Blacklist, contains_phone_number
+from .evasion import deobfuscate, obfuscation_score
+from .matcher import broad_match, exact_match, matches, phrase_match
+from .normalize import SYNONYMS, expand_token, normalize_phrase, normalize_token
+
+__all__ = [
+    "Blacklist",
+    "contains_phone_number",
+    "deobfuscate",
+    "obfuscation_score",
+    "matches",
+    "exact_match",
+    "phrase_match",
+    "broad_match",
+    "normalize_token",
+    "normalize_phrase",
+    "expand_token",
+    "SYNONYMS",
+]

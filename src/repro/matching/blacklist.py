@@ -1,0 +1,96 @@
+"""Platform blacklists (Section 5.2.4).
+
+Bing maintains blacklists of words and patterns not permitted in ad text
+or keywords (phone numbers, trademarks) plus "a fairly aggressive
+blacklist of domains used in fraudulent activities".  The domain list
+grows over time as accounts are shut down; the term list grows when
+policy changes (e.g. the third-party tech-support ban adds that
+vertical's vocabulary).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..taxonomy.keywords import BRAND_TOKENS
+from .normalize import normalize_token
+
+__all__ = ["Blacklist", "PHONE_PATTERN", "contains_phone_number"]
+
+#: Straightforward phone-number formats the filter catches outright.
+PHONE_PATTERN = re.compile(
+    r"\b1[-.\s]?\(?8(?:00|44|55|66|77|88)\)?[-.\s]?\d{3}[-.\s]?\d{4}\b"
+)
+
+#: Tech-support vocabulary added to the blacklist at the policy ban.
+TECHSUPPORT_POLICY_TERMS: tuple[str, ...] = (
+    "helpline",
+    "tollfree",
+    "technician",
+    "supportline",
+)
+
+
+def contains_phone_number(text: str) -> bool:
+    """Whether ``text`` contains an un-obfuscated phone number."""
+    return PHONE_PATTERN.search(text) is not None
+
+
+@dataclass
+class Blacklist:
+    """Mutable blacklist state owned by the detection pipeline.
+
+    Attributes:
+        terms: Normalized single tokens banned in ad text and keywords
+            (seeded with trademark/brand tokens).
+        domains: Banned destination/display domains.
+    """
+
+    terms: set[str] = field(default_factory=set)
+    domains: set[str] = field(default_factory=set)
+
+    @classmethod
+    def default(cls) -> "Blacklist":
+        """The launch blacklist: known brand/trademark tokens."""
+        return cls(terms={normalize_token(token) for token in BRAND_TOKENS})
+
+    def add_term(self, term: str) -> None:
+        """Blacklist one normalized token."""
+        self.terms.add(normalize_token(term))
+
+    def add_terms(self, terms) -> None:
+        """Blacklist several tokens."""
+        for term in terms:
+            self.add_term(term)
+
+    def add_domain(self, domain: str) -> None:
+        """Blacklist a domain (case-insensitive)."""
+        self.domains.add(domain.lower())
+
+    def is_domain_blacklisted(self, domain: str) -> bool:
+        """Whether the domain is blacklisted."""
+        return domain.lower() in self.domains
+
+    def term_hits(self, text: str) -> list[str]:
+        """Blacklisted tokens present in ``text`` (normalized scan)."""
+        tokens = {normalize_token(token) for token in text.split()}
+        tokens.discard("")
+        return sorted(tokens & self.terms)
+
+    def scan_text(self, text: str) -> list[str]:
+        """All blacklist violations in ``text``.
+
+        Returns a list of violation labels: blacklisted terms plus a
+        ``"phone:<match>"`` entry if an un-obfuscated phone number is
+        present.
+        """
+        hits = self.term_hits(text)
+        match = PHONE_PATTERN.search(text)
+        if match is not None:
+            hits.append(f"phone:{match.group(0)}")
+        return hits
+
+    def enact_techsupport_ban(self) -> None:
+        """Apply the Year-2 policy change banning third-party support ads."""
+        self.add_terms(TECHSUPPORT_POLICY_TERMS)

@@ -1,0 +1,78 @@
+"""Blacklist-evasion utilities.
+
+Fraudsters substitute look-alike characters and break phone numbers up
+with injected text (Section 5.2.4).  The platform counters with a
+de-obfuscation pass before scanning; the pass is good but not perfect,
+so the content filter applies it probabilistically (see
+:mod:`repro.detection.content_filter`).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["deobfuscate", "obfuscation_score"]
+
+#: Non-ASCII look-alikes mapped back to their ASCII originals.
+_UNICODE_HOMOGLYPHS = {
+    "é": "e",
+    "à": "a",
+    "ı": "i",
+}
+#: Letters standing in for digits inside digit runs.
+_LETTER_FOR_DIGIT = re.compile(r"(?<=\d)[oO]|[oO](?=\d)|(?<=\d)[lI]|[lI](?=\d)")
+#: Digits standing in for letters inside words ('C0ACH', 'd1scord').
+_DIGIT_FOR_LETTER = re.compile(r"(?<=[a-zA-Z])0(?=[a-zA-Z])|(?<=[a-zA-Z])1(?=[a-zA-Z])")
+_PHONE_JUNK = re.compile(r"(?<=[\d\s])\(([A-Za-z]{2,4})\)\s*(?=\d)")
+_NUMBER_WORDS = {
+    "zero": "0", "one": "1", "two": "2", "three": "3", "four": "4",
+    "five": "5", "six": "6", "seven": "7", "eight": "8", "nine": "9",
+}
+_DIGIT_SUBS = {"0": "o", "1": "i"}
+
+
+def _fix_letter_digits(match: re.Match) -> str:
+    char = match.group(0)
+    return "0" if char in "oO" else "1"
+
+
+def _fix_digit_letters(match: re.Match) -> str:
+    return _DIGIT_SUBS[match.group(0)]
+
+
+def deobfuscate(text: str) -> str:
+    """Reverse common obfuscations before blacklist scanning.
+
+    Handles, in order: unicode homoglyphs back to ASCII; number words
+    spelled out; letters-for-digits inside digit runs (``18OO`` ->
+    ``1800``, applied repeatedly so runs of substitutions resolve);
+    digits-for-letters inside words (``C0ACH`` -> ``COACH`` casewise);
+    and injected parentheticals splitting phone numbers.
+    """
+    for glyph, plain in _UNICODE_HOMOGLYPHS.items():
+        text = text.replace(glyph, plain)
+    words = [_NUMBER_WORDS.get(word.lower(), word) for word in text.split(" ")]
+    text = " ".join(words)
+    # Repeat until fixed point: each pass extends digit runs outward.
+    while True:
+        fixed = _LETTER_FOR_DIGIT.sub(_fix_letter_digits, text)
+        if fixed == text:
+            break
+        text = fixed
+    text = _DIGIT_FOR_LETTER.sub(_fix_digit_letters, text)
+    text = _PHONE_JUNK.sub("", text)
+    return text
+
+
+def obfuscation_score(text: str) -> float:
+    """Rough measure in [0, 1] of how obfuscated ``text`` looks.
+
+    Counts unicode homoglyphs plus digit/letter boundary anomalies;
+    heavy substitution is itself suspicious to the filter.
+    """
+    if not text:
+        return 0.0
+    suspicious = sum(1 for ch in text if ch in _UNICODE_HOMOGLYPHS)
+    suspicious += len(_DIGIT_FOR_LETTER.findall(text))
+    suspicious += len(_LETTER_FOR_DIGIT.findall(text))
+    return min(1.0, suspicious / max(10, len(text) // 4))

@@ -1,0 +1,61 @@
+"""Keyword/query match semantics (Section 5.3).
+
+* **exact** -- the keywords occur as the exact search query, no changes
+  to ordering or additional words.
+* **phrase** -- the keywords occur in order, optionally with additional
+  words before or after.
+* **broad** -- the keywords, or terms the engine deems similar, occur in
+  the query regardless of order or extra words.
+
+All comparisons run on normalized tokens (see
+:mod:`repro.matching.normalize`).
+"""
+
+from __future__ import annotations
+
+from ..entities.enums import MatchType
+from .normalize import expand_token, normalize_phrase
+
+__all__ = ["matches", "exact_match", "phrase_match", "broad_match"]
+
+
+def exact_match(keyword: tuple[str, ...], query: tuple[str, ...]) -> bool:
+    """Whether ``query`` is exactly the keyword phrase."""
+    return normalize_phrase(keyword) == normalize_phrase(query)
+
+
+def phrase_match(keyword: tuple[str, ...], query: tuple[str, ...]) -> bool:
+    """Whether the keyword phrase occurs contiguously, in order."""
+    kw = normalize_phrase(keyword)
+    q = normalize_phrase(query)
+    if not kw or len(kw) > len(q):
+        return False
+    for start in range(len(q) - len(kw) + 1):
+        if q[start : start + len(kw)] == kw:
+            return True
+    return False
+
+
+def broad_match(keyword: tuple[str, ...], query: tuple[str, ...]) -> bool:
+    """Whether every keyword token (or a synonym) appears in the query."""
+    kw = normalize_phrase(keyword)
+    if not kw:
+        return False
+    query_tokens = set(normalize_phrase(query))
+    if not query_tokens:
+        return False
+    return all(expand_token(token) & query_tokens for token in kw)
+
+
+_MATCHERS = {
+    MatchType.EXACT: exact_match,
+    MatchType.PHRASE: phrase_match,
+    MatchType.BROAD: broad_match,
+}
+
+
+def matches(
+    keyword: tuple[str, ...], match_type: MatchType, query: tuple[str, ...]
+) -> bool:
+    """Whether a (keyword, match type) offer is eligible for ``query``."""
+    return _MATCHERS[match_type](keyword, query)

@@ -1,0 +1,87 @@
+"""Query and keyword normalization.
+
+"Across all match types, Bing normalizes for misspellings, plurals,
+acronyms and other minor grammatical variations" (Section 5.3).  This
+module provides that normalization layer: lowercasing, diacritic
+stripping, plural folding, and a small misspelling/synonym table.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+from functools import lru_cache
+
+__all__ = ["normalize_token", "normalize_phrase", "SYNONYMS", "expand_token"]
+
+#: Misspelling / variant folding applied during normalization.
+_VARIANTS: dict[str, str] = {
+    "downlaod": "download",
+    "suport": "support",
+    "antivir": "antivirus",
+    "wieght": "weight",
+    "cheep": "cheap",
+    "flite": "flight",
+    "sunglases": "sunglass",
+}
+
+#: Words ending in 's' that are not plurals and must keep it.
+_KEEP_TRAILING_S: frozenset[str] = frozenset(
+    {"antivirus", "news", "plus", "business", "express", "bonus", "gas"}
+)
+
+#: Broad matching may also match on terms "Bing determines to be
+#: similar"; this symmetric synonym table feeds that expansion.
+SYNONYMS: dict[str, frozenset[str]] = {
+    "cheap": frozenset({"discount", "affordable"}),
+    "discount": frozenset({"cheap", "sale"}),
+    "sale": frozenset({"discount", "deal"}),
+    "deal": frozenset({"sale", "offer"}),
+    "download": frozenset({"install", "get"}),
+    "support": frozenset({"help", "service"}),
+    "help": frozenset({"support"}),
+    "flight": frozenset({"airfare", "ticket"}),
+    "cream": frozenset({"serum", "lotion"}),
+    "supplement": frozenset({"pill", "formula"}),
+}
+
+
+def _strip_diacritics(text: str) -> str:
+    decomposed = unicodedata.normalize("NFKD", text)
+    return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+
+
+@lru_cache(maxsize=65536)
+def normalize_token(token: str) -> str:
+    """Normalize a single token.
+
+    Lowercases, strips diacritics and punctuation, folds known
+    misspellings, and removes simple plural endings.
+    """
+    token = _strip_diacritics(token.lower())
+    token = "".join(ch for ch in token if ch.isalnum())
+    if token in _VARIANTS:
+        token = _VARIANTS[token]
+    if token in _KEEP_TRAILING_S:
+        return token
+    # Light plural stemming: sses -> ss, ies -> y, trailing s dropped.
+    if len(token) > 4 and token.endswith("sses"):
+        token = token[:-2]
+    elif len(token) > 4 and token.endswith("ies"):
+        token = token[:-3] + "y"
+    elif len(token) > 3 and token.endswith("s") and not token.endswith("ss"):
+        token = token[:-1]
+    return _VARIANTS.get(token, token)
+
+
+def normalize_phrase(tokens: tuple[str, ...] | list[str]) -> tuple[str, ...]:
+    """Normalize a phrase, dropping tokens that normalize to nothing."""
+    normalized = (normalize_token(token) for token in tokens)
+    return tuple(token for token in normalized if token)
+
+
+def expand_token(token: str) -> frozenset[str]:
+    """The token plus its broad-match synonyms (normalized)."""
+    base = normalize_token(token)
+    expansion = {base}
+    expansion.update(SYNONYMS.get(base, frozenset()))
+    return frozenset(expansion)

@@ -1,0 +1,152 @@
+"""ASCII chart rendering.
+
+No plotting backend is available offline, so figures are rendered as
+terminal charts: multi-series line plots on linear or log x-axes.  The
+goal is shape inspection -- enough to eyeball each figure against the
+paper -- with exact values available via the CSV exports
+(:mod:`repro.plotting.series`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..analysis.cdf import Ecdf
+
+__all__ = ["render_lines", "render_cdfs", "render_series_table"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _format_axis_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000 or magnitude < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def render_lines(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    title: str,
+    width: int = 72,
+    height: int = 18,
+    logx: bool = False,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII chart."""
+    populated = {
+        name: (np.asarray(x, dtype=float), np.asarray(y, dtype=float))
+        for name, (x, y) in series.items()
+        if len(x) > 0
+    }
+    if not populated:
+        return f"{title}\n  (no data)\n"
+    all_x = np.concatenate([x for x, _ in populated.values()])
+    all_y = np.concatenate([y for _, y in populated.values()])
+    if logx:
+        positive = all_x[all_x > 0]
+        if positive.size == 0:
+            return f"{title}\n  (no positive x data for log axis)\n"
+        x_lo, x_hi = math.log10(positive.min()), math.log10(positive.max())
+    else:
+        x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, glyph: str) -> None:
+        """Place one glyph on the grid."""
+        if logx:
+            if x <= 0:
+                return
+            x = math.log10(x)
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        if 0 <= col < width and 0 <= row < height:
+            grid[height - 1 - row][col] = glyph
+
+    legend = []
+    for index, (name, (x, y)) in enumerate(populated.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        legend.append(f"  {glyph} {name}")
+        # Densify: interpolate onto the column grid so lines look solid.
+        for col in range(width):
+            if logx:
+                gx = 10 ** (x_lo + (x_hi - x_lo) * col / (width - 1))
+            else:
+                gx = x_lo + (x_hi - x_lo) * col / (width - 1)
+            gy = float(np.interp(gx, x, y))
+            plot(gx, gy, glyph)
+
+    lines = [title]
+    top_label = _format_axis_value(y_hi)
+    bottom_label = _format_axis_value(y_lo)
+    pad = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        prefix = (
+            top_label.rjust(pad)
+            if row_index == 0
+            else bottom_label.rjust(pad)
+            if row_index == height - 1
+            else " " * pad
+        )
+        lines.append(f"{prefix} |{''.join(row)}|")
+    x_axis = (
+        f"{' ' * pad}  {_format_axis_value(10**x_lo if logx else x_lo)}"
+        f"{' ' * (width - 16)}"
+        f"{_format_axis_value(10**x_hi if logx else x_hi)}"
+    )
+    lines.append(x_axis)
+    if xlabel or ylabel:
+        lines.append(f"{' ' * pad}  x: {xlabel}{'  (log)' if logx else ''}"
+                     + (f"   y: {ylabel}" if ylabel else ""))
+    lines.extend(legend)
+    return "\n".join(lines) + "\n"
+
+
+def render_cdfs(
+    curves: dict[str, Ecdf],
+    title: str,
+    logx: bool = False,
+    xlabel: str = "",
+    **kwargs,
+) -> str:
+    """Render named ECDFs as an ASCII chart."""
+    series = {name: (curve.x, curve.y) for name, curve in curves.items()}
+    return render_lines(
+        series, title, logx=logx, xlabel=xlabel, ylabel="CDF", **kwargs
+    )
+
+
+def render_series_table(
+    headers: list[str], rows: list[list], title: str = ""
+) -> str:
+    """Render a simple fixed-width text table."""
+    text_rows = [
+        [
+            f"{cell:.4g}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in text_rows), default=0))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"

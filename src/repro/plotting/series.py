@@ -1,0 +1,31 @@
+"""Numeric series export for external plotting."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..analysis.cdf import Ecdf
+
+__all__ = ["export_series_csv", "export_cdfs_csv"]
+
+
+def export_series_csv(
+    series: dict[str, tuple[np.ndarray, np.ndarray]], path: str | Path
+) -> None:
+    """Write named (x, y) series as long-format CSV (series, x, y)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "x", "y"])
+        for name, (x, y) in series.items():
+            for xv, yv in zip(np.asarray(x), np.asarray(y)):
+                writer.writerow([name, float(xv), float(yv)])
+
+
+def export_cdfs_csv(curves: dict[str, Ecdf], path: str | Path) -> None:
+    """Write named ECDFs as long-format CSV."""
+    export_series_csv(
+        {name: (curve.x, curve.y) for name, curve in curves.items()}, path
+    )

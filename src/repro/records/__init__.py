@@ -1,0 +1,39 @@
+"""Record schemas, columnar stores and dataset I/O."""
+
+from .codes import (
+    MATCH_CODES,
+    country_code,
+    country_name,
+    match_code,
+    match_type_from_code,
+    vertical_code,
+    vertical_name,
+)
+from .impressions import ImpressionBuilder, ImpressionTable
+from .io import (
+    read_impressions_csv,
+    read_records_jsonl,
+    write_impressions_csv,
+    write_records_jsonl,
+)
+from .schemas import AdRecord, CustomerRecord, DetectionRecord, KeywordRecord
+
+__all__ = [
+    "MATCH_CODES",
+    "vertical_code",
+    "vertical_name",
+    "country_code",
+    "country_name",
+    "match_code",
+    "match_type_from_code",
+    "ImpressionBuilder",
+    "ImpressionTable",
+    "CustomerRecord",
+    "AdRecord",
+    "KeywordRecord",
+    "DetectionRecord",
+    "write_impressions_csv",
+    "read_impressions_csv",
+    "write_records_jsonl",
+    "read_records_jsonl",
+]

@@ -1,0 +1,70 @@
+"""Integer encodings for categorical record fields.
+
+The impression table stores verticals, countries and match types as
+small integers; these tables define the stable encodings.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..entities.enums import MatchType
+from ..taxonomy.geography import COUNTRIES
+from ..taxonomy.verticals import VERTICALS
+
+__all__ = [
+    "vertical_code",
+    "vertical_name",
+    "country_code",
+    "country_name",
+    "match_code",
+    "match_type_from_code",
+    "MATCH_CODES",
+]
+
+MATCH_CODES: dict[MatchType, int] = {
+    MatchType.EXACT: 0,
+    MatchType.PHRASE: 1,
+    MatchType.BROAD: 2,
+}
+_MATCH_FROM_CODE = {code: mt for mt, code in MATCH_CODES.items()}
+
+
+@lru_cache(maxsize=1)
+def _vertical_index() -> dict[str, int]:
+    return {v.name: i for i, v in enumerate(VERTICALS)}
+
+
+@lru_cache(maxsize=1)
+def _country_index() -> dict[str, int]:
+    return {c.code: i for i, c in enumerate(COUNTRIES)}
+
+
+def vertical_code(name: str) -> int:
+    """Integer code for a vertical name."""
+    return _vertical_index()[name]
+
+
+def vertical_name(code: int) -> str:
+    """Vertical name for an integer code."""
+    return VERTICALS[code].name
+
+
+def country_code(code: str) -> int:
+    """Integer code for a country ISO code."""
+    return _country_index()[code]
+
+
+def country_name(code: int) -> str:
+    """Country ISO code for an integer code."""
+    return COUNTRIES[code].code
+
+
+def match_code(match_type: MatchType) -> int:
+    """Integer code for a match type."""
+    return MATCH_CODES[match_type]
+
+
+def match_type_from_code(code: int) -> MatchType:
+    """Match type for an integer code."""
+    return _MATCH_FROM_CODE[code]

@@ -1,0 +1,80 @@
+"""Dataset export/import (CSV for the impression table, JSONL for records)."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import RecordError
+from .impressions import ImpressionTable
+
+__all__ = [
+    "write_impressions_csv",
+    "read_impressions_csv",
+    "write_records_jsonl",
+    "read_records_jsonl",
+]
+
+
+def write_impressions_csv(table: ImpressionTable, path: str | Path) -> None:
+    """Write the impression table as CSV with a header row."""
+    names = table.field_names()
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        columns = [getattr(table, name) for name in names]
+        for row in zip(*columns):
+            writer.writerow(
+                [int(v) if isinstance(v, (np.bool_, bool)) else v for v in row]
+            )
+
+
+def read_impressions_csv(path: str | Path) -> ImpressionTable:
+    """Read an impression table written by :func:`write_impressions_csv`."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise RecordError(f"{path}: empty impressions file") from None
+        if tuple(header) != ImpressionTable.field_names():
+            raise RecordError(f"{path}: unexpected header {header}")
+        rows = list(reader)
+    columns = list(zip(*rows)) if rows else [[] for _ in header]
+    kwargs = {}
+    for name, values in zip(header, columns):
+        if name in ("mainline", "fraud_labeled"):
+            kwargs[name] = np.asarray([v == "1" for v in values], dtype=bool)
+        elif name in ("day", "weight", "clicks", "spend", "price"):
+            kwargs[name] = np.asarray(values, dtype=float)
+        else:
+            kwargs[name] = np.asarray(values, dtype=np.int64)
+    return ImpressionTable(**kwargs)
+
+
+def write_records_jsonl(records: Iterable, path: str | Path) -> int:
+    """Write records (objects with ``to_dict``) as JSON lines.
+
+    Returns the number of records written.
+    """
+    count = 0
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict()) + "\n")
+            count += 1
+    return count
+
+
+def read_records_jsonl(path: str | Path, factory) -> list:
+    """Read JSONL records back through ``factory(**fields)``."""
+    out = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(factory(**json.loads(line)))
+    return out

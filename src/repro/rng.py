@@ -1,0 +1,31 @@
+"""Deterministic random-number streams.
+
+Every stochastic component in the simulator draws from its own named
+stream derived from the root seed.  This keeps runs reproducible and --
+critically for ablation experiments -- keeps unrelated components
+decoupled: changing how many draws the detection pipeline makes does not
+perturb the query stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["stream", "stream_seed"]
+
+
+def stream_seed(root_seed: int, name: str) -> int:
+    """Derive a stable 64-bit seed for the stream ``name``.
+
+    The derivation hashes the stream name so that streams are
+    independent of the order in which they are created.
+    """
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def stream(root_seed: int, name: str) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for the named stream."""
+    return np.random.Generator(np.random.PCG64(stream_seed(root_seed, name)))

@@ -1,0 +1,25 @@
+"""Two-year marketplace simulation."""
+
+from .cache import cached_simulation, clear_cache
+from .engine import SimulationEngine, run_simulation
+from .market import MarketIndex
+from .querygen import CellSampler, MatchTable, Query, QuerySampler, match_table
+from .registration import FraudShareSchedule, sample_daily_counts
+from .results import AccountSummary, SimulationResult
+
+__all__ = [
+    "SimulationEngine",
+    "run_simulation",
+    "cached_simulation",
+    "clear_cache",
+    "MarketIndex",
+    "CellSampler",
+    "MatchTable",
+    "match_table",
+    "Query",
+    "QuerySampler",
+    "FraudShareSchedule",
+    "sample_daily_counts",
+    "AccountSummary",
+    "SimulationResult",
+]

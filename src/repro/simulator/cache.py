@@ -1,0 +1,31 @@
+"""In-process simulation cache.
+
+Experiments and benchmarks share simulations: every figure of a paper
+section is computed from the same underlying logs.  The cache keys on
+the full configuration, so ablations (which modify the config) get
+their own runs.
+"""
+
+from __future__ import annotations
+
+from ..config import SimulationConfig
+from .engine import run_simulation
+from .results import SimulationResult
+
+__all__ = ["cached_simulation", "clear_cache"]
+
+_CACHE: dict[SimulationConfig, SimulationResult] = {}
+
+
+def cached_simulation(config: SimulationConfig) -> SimulationResult:
+    """Run (or reuse) the simulation for ``config``."""
+    result = _CACHE.get(config)
+    if result is None:
+        result = run_simulation(config)
+        _CACHE[config] = result
+    return result
+
+
+def clear_cache() -> None:
+    """Drop all cached simulations (frees memory in long test sessions)."""
+    _CACHE.clear()

@@ -1,0 +1,395 @@
+"""The simulation engine.
+
+Runs in three phases:
+
+1. **Population** -- day by day, sample registrations, build profiles,
+   materialize campaigns/ads/keyword bids, and run the detection
+   pipeline.  Detection outcomes depend only on account attributes and
+   the policy timeline, so the full population (with shutdown times)
+   can be generated before any auction runs.  A detection sampled to
+   land *after* the study end is discarded: that account is analysed
+   as non-fraudulent, exactly as undetected fraud is at Bing.
+2. **Market build** -- flatten every keyword offer into the vectorized
+   :class:`~repro.simulator.market.MarketIndex`.
+3. **Auctions** -- for each day, compute live offers, sample the query
+   stream, run GSP auctions, sample clicks, and append impression rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..auction.gsp import Candidate, run_auction
+from ..behavior.factory import IdAllocator, MaterializedAccount, materialize_account
+from ..behavior.fraudulent import sample_fraud_profile
+from ..behavior.legitimate import sample_legitimate_profile
+from ..behavior.profiles import AdvertiserProfile
+from ..clickmodel.position_bias import examination_probability
+from ..config import SimulationConfig
+from ..detection.pipeline import DetectionOutcome, DetectionPipeline
+from ..entities.advertiser import Advertiser
+from ..entities.enums import ShutdownReason
+from ..records.codes import match_code, match_type_from_code
+from ..records.impressions import ImpressionBuilder
+from ..rng import stream
+from ..taxonomy.geography import country as country_info
+from ..taxonomy.verticals import VERTICALS
+from .market import MarketIndex
+from .querygen import QuerySampler, match_table
+from .registration import FraudShareSchedule, sample_daily_counts
+from .results import AccountSummary, SimulationResult
+
+__all__ = ["SimulationEngine", "run_simulation"]
+
+#: Mean days before a legitimate account goes dormant (stops running
+#: campaigns) -- keeps the active population roughly stationary.
+LEGIT_DORMANCY_MEAN_DAYS = 300.0
+#: Days after a policy ban before new fraud entrants stop choosing the
+#: banned vertical (word gets around the affiliate forums).
+POLICY_LEARNING_LAG_DAYS = 30.0
+
+
+class SimulationEngine:
+    """Orchestrates one full simulation run."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        seed = config.seed
+        self._rng_population = stream(seed, "population")
+        self._rng_detection = stream(seed, "detection")
+        self._rng_market = stream(seed, "market")
+        self._rng_queries = stream(seed, "queries")
+        self._rng_clicks = stream(seed, "clicks")
+        self.pipeline = DetectionPipeline(
+            config.detection, config.query, float(config.days)
+        )
+        self._ids = IdAllocator()
+        self._next_advertiser_id = 0
+        self._eligible_memo: dict[tuple[int, int, bool, bool], list] = {}
+
+    # ------------------------------------------------------------------
+    # Phase 1: population
+    # ------------------------------------------------------------------
+
+    def _new_advertiser(
+        self, profile: AdvertiserProfile, created_time: float
+    ) -> Advertiser:
+        self._next_advertiser_id += 1
+        info = country_info(profile.country)
+        return Advertiser(
+            advertiser_id=self._next_advertiser_id,
+            kind=profile.kind,
+            created_time=created_time,
+            country=profile.country,
+            language=info.language,
+            currency=info.currency,
+            activity_scale=profile.activity_scale,
+            quality=profile.quality,
+            evasion_skill=profile.evasion_skill,
+            uses_stolen_payment=profile.uses_stolen_payment,
+        )
+
+    def _summarize(
+        self,
+        advertiser: Advertiser,
+        profile: AdvertiserProfile,
+        account: MaterializedAccount | None,
+        adv_row: int,
+        activity_end: float,
+    ) -> AccountSummary:
+        default_bid = self.config.auction.default_max_bid
+        bid_count = np.zeros(3)
+        bid_sum = np.zeros(3)
+        bid_above = np.zeros(3)
+        ad_creations: list[float] = []
+        kw_creations: list[float] = []
+        ad_mods: list[float] = []
+        kw_mods: list[float] = []
+        n_domains = 0
+        if account is not None:
+            from ..records.codes import match_code as mc
+
+            domains = set()
+            for campaign in advertiser.campaigns:
+                for ad in campaign.ads:
+                    domains.add(ad.destination_domain)
+                for bid in campaign.bids:
+                    code = mc(bid.match_type)
+                    bid_count[code] += 1
+                    bid_sum[code] += bid.max_bid
+                    if bid.max_bid > default_bid * 1.0001:
+                        bid_above[code] += 1
+            n_domains = len(domains)
+            ad_creations = account.ad_creation_times
+            kw_creations = account.kw_creation_times
+            ad_mods = account.ad_mod_times
+            kw_mods = account.kw_mod_times
+        return AccountSummary(
+            advertiser_id=advertiser.advertiser_id,
+            adv_row=adv_row,
+            kind=advertiser.kind,
+            labeled_fraud=advertiser.labeled_fraud,
+            created_time=advertiser.created_time,
+            first_ad_time=advertiser.first_ad_time,
+            shutdown_time=advertiser.shutdown_time,
+            shutdown_reason=(
+                advertiser.shutdown_reason.value
+                if advertiser.shutdown_reason is not None
+                else None
+            ),
+            activity_end=activity_end,
+            country=advertiser.country,
+            language=advertiser.language,
+            currency=advertiser.currency,
+            verticals=profile.verticals,
+            n_ads=len(ad_creations),
+            n_keywords=len(kw_creations),
+            n_domains=n_domains,
+            ad_creation_times=np.asarray(ad_creations, dtype=np.float64),
+            kw_creation_times=np.asarray(kw_creations, dtype=np.float64),
+            ad_mod_times=np.asarray(ad_mods, dtype=np.float64),
+            kw_mod_times=np.asarray(kw_mods, dtype=np.float64),
+            bid_count_by_match=bid_count,
+            bid_sum_by_match=bid_sum,
+            bid_above_default_by_match=bid_above,
+            activity_scale=profile.activity_scale,
+            participation=profile.participation_prob,
+            quality=profile.quality,
+        )
+
+    def _generate_account(
+        self,
+        profile: AdvertiserProfile,
+        created_time: float,
+        adv_row: int,
+    ) -> tuple[MaterializedAccount, AccountSummary]:
+        """Build one account end-to-end (materialize + detect + trim)."""
+        total_days = float(self.config.days)
+        rng_d = self._rng_detection
+        rng_p = self._rng_population
+        advertiser = self._new_advertiser(profile, created_time)
+
+        empty = MaterializedAccount(
+            advertiser=advertiser, profile=profile, activity_end=created_time
+        )
+
+        if profile.is_fraud:
+            screen_time = self.pipeline.screen_registration(
+                profile, created_time, rng_d
+            )
+            if screen_time is not None and screen_time >= total_days:
+                # Screened, but the freeze lands after the study ends:
+                # within the study this account is simply a pending
+                # registration that never posts.
+                summary = self._summarize(
+                    advertiser, profile, None, adv_row, total_days
+                )
+                return empty, summary
+            if screen_time is not None:
+                advertiser.shutdown(
+                    screen_time, ShutdownReason.REGISTRATION_SCREEN, True
+                )
+                self.pipeline.commit(
+                    advertiser.advertiser_id,
+                    DetectionOutcome(
+                        screen_time, ShutdownReason.REGISTRATION_SCREEN, True
+                    ),
+                )
+                summary = self._summarize(
+                    advertiser, profile, None, adv_row, min(screen_time, total_days)
+                )
+                return empty, summary
+
+        first_ad_time = created_time + profile.first_ad_delay
+        if first_ad_time >= total_days:
+            summary = self._summarize(
+                advertiser, profile, None, adv_row, total_days
+            )
+            return empty, summary
+
+        account = materialize_account(
+            advertiser,
+            profile,
+            first_ad_time,
+            total_days,
+            self.config,
+            self._ids,
+            rng_p,
+        )
+        if profile.is_fraud:
+            outcome = self.pipeline.evaluate_fraud_account(
+                account, first_ad_time, rng_d
+            )
+        else:
+            outcome = self.pipeline.evaluate_legitimate_account(
+                created_time, rng_d, total_days
+            )
+        if outcome.detected and outcome.shutdown_time < total_days:
+            advertiser.shutdown(
+                outcome.shutdown_time, outcome.reason, outcome.labeled_fraud
+            )
+            domains = sorted(
+                {ad.destination_domain for ad in advertiser.all_ads()}
+            )
+            self.pipeline.commit(advertiser.advertiser_id, outcome, domains)
+            activity_end = outcome.shutdown_time
+        else:
+            # Not detected within the study: analysed as non-fraudulent.
+            activity_end = total_days
+            if not profile.is_fraud:
+                dormancy = float(rng_p.exponential(LEGIT_DORMANCY_MEAN_DAYS))
+                activity_end = min(total_days, created_time + dormancy)
+
+        account.trim(activity_end)
+        account.activity_end = activity_end
+        summary = self._summarize(advertiser, profile, account, adv_row, activity_end)
+        return account, summary
+
+    def generate_population(
+        self,
+    ) -> tuple[list[MaterializedAccount], list[AccountSummary]]:
+        """Phase 1: create every account with its detection outcome."""
+        config = self.config
+        rng = self._rng_population
+        schedule = FraudShareSchedule(config.population, config.days, rng)
+        accounts: list[MaterializedAccount] = []
+        summaries: list[AccountSummary] = []
+        for day in range(config.days):
+            n_fraud, n_nonfraud = sample_daily_counts(
+                config.population, schedule, day, rng
+            )
+            flags = [True] * n_fraud + [False] * n_nonfraud
+            for is_fraud in flags:
+                created_time = day + float(rng.random())
+                if is_fraud:
+                    prolific = (
+                        rng.random() < config.population.prolific_fraud_fraction
+                    )
+                    banned = tuple(
+                        change.banned_vertical
+                        for change in self.pipeline.policy.changes
+                        if created_time >= change.day + POLICY_LEARNING_LAG_DAYS
+                    )
+                    profile = sample_fraud_profile(
+                        config, rng, prolific, banned_verticals=banned
+                    )
+                else:
+                    profile = sample_legitimate_profile(config, rng)
+                account, summary = self._generate_account(
+                    profile, created_time, adv_row=len(accounts)
+                )
+                accounts.append(account)
+                summaries.append(summary)
+        return accounts, summaries
+
+    # ------------------------------------------------------------------
+    # Phase 3: auctions
+    # ------------------------------------------------------------------
+
+    def _eligible_pairs(
+        self, vertical_code: int, seed: int, decorated: bool, shuffled: bool
+    ):
+        key = (vertical_code, seed, decorated, shuffled)
+        pairs = self._eligible_memo.get(key)
+        if pairs is None:
+            table = match_table(VERTICALS[vertical_code].name)
+            pairs = table.eligible_pairs(seed, decorated, shuffled)
+            self._eligible_memo[key] = pairs
+        return pairs
+
+    def run_auctions(
+        self, market: MarketIndex, builder: ImpressionBuilder
+    ) -> None:
+        """Phase 3: the daily auction loop."""
+        config = self.config
+        sampler = QuerySampler(config.query)
+        cells = sampler.cells
+        click_config = config.click
+        rng_clicks = self._rng_clicks
+        for day in range(config.days):
+            time = day + 0.5
+            buckets = market.day_buckets(time, self._rng_market)
+            if not buckets.buckets:
+                continue
+            for query in sampler.sample_day(self._rng_queries):
+                cell = cells.cell_of(query.vertical, query.country)
+                candidates: list[Candidate] = []
+                for kw_index, mcode in self._eligible_pairs(
+                    query.vertical, query.seed_index, query.decorated, query.shuffled
+                ):
+                    rows = buckets.lookup(cell, kw_index, mcode)
+                    if rows is None:
+                        continue
+                    match_type = match_type_from_code(mcode)
+                    for i in rows:
+                        candidates.append(
+                            Candidate(
+                                advertiser_id=int(market.advertiser_id[i]),
+                                ad_id=int(market.ad_id[i]),
+                                match_type=match_type,
+                                max_bid=float(market.max_bid[i]),
+                                quality=float(market.quality[i]),
+                                click_quality=float(market.click_quality[i]),
+                                fraud_labeled=bool(market.fraud_labeled[i]),
+                            )
+                        )
+                if not candidates:
+                    continue
+                outcome = run_auction(candidates, config.auction)
+                if not outcome.shown:
+                    continue
+                n_shown = outcome.n_shown
+                n_fraud = outcome.n_fraud_labeled()
+                for shown in outcome.shown:
+                    examine = examination_probability(shown.placement, click_config)
+                    p_click = min(1.0, examine * shown.candidate.quality)
+                    clicks = (
+                        float(rng_clicks.poisson(query.weight * p_click))
+                        if p_click > 0
+                        else 0.0
+                    )
+                    spend = clicks * shown.price_per_click
+                    builder.add(
+                        day=time,
+                        advertiser_id=shown.candidate.advertiser_id,
+                        ad_id=shown.candidate.ad_id,
+                        vertical=query.vertical,
+                        country=query.country,
+                        match_type=match_code(shown.candidate.match_type),
+                        position=shown.position,
+                        mainline=shown.mainline,
+                        weight=query.weight,
+                        clicks=clicks,
+                        spend=spend,
+                        price=shown.price_per_click,
+                        n_shown=n_shown,
+                        n_fraud_shown=n_fraud,
+                        fraud_labeled=shown.candidate.fraud_labeled,
+                    )
+
+    # ------------------------------------------------------------------
+
+    def run(self, keep_entities: bool = False) -> SimulationResult:
+        """Run all three phases and return the bundled result."""
+        accounts, summaries = self.generate_population()
+        market = MarketIndex(accounts)
+        market.country_volume_check()
+        builder = ImpressionBuilder()
+        self.run_auctions(market, builder)
+        return SimulationResult(
+            config=self.config,
+            accounts=summaries,
+            impressions=builder.build(),
+            detections=list(self.pipeline.records),
+            policy_changes=list(self.pipeline.policy.changes),
+            advertisers=(
+                [a.advertiser for a in accounts] if keep_entities else []
+            ),
+        )
+
+
+def run_simulation(
+    config: SimulationConfig, keep_entities: bool = False
+) -> SimulationResult:
+    """Convenience wrapper: build an engine and run it."""
+    return SimulationEngine(config).run(keep_entities=keep_entities)

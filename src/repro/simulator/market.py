@@ -1,0 +1,134 @@
+"""Vectorized offer index.
+
+All keyword offers in the marketplace are flattened into parallel numpy
+arrays once the population is generated.  Each simulated day the index
+computes which offers are live (account alive, ad created, account "on"
+today under its activity budget) and groups them into buckets keyed by
+``(cell, keyword, match type)`` so each query touches only the offers
+that could possibly match it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..behavior.factory import MaterializedAccount
+from ..records.codes import country_code, match_code, vertical_code
+from ..taxonomy.geography import COUNTRIES
+from .querygen import CellSampler
+
+__all__ = ["MarketIndex", "DayBuckets"]
+
+#: Max keyword-pool size supported by the composite bucket key.
+_MAX_KW = 128
+
+
+@dataclass(frozen=True)
+class DayBuckets:
+    """One day's live offers grouped by (cell, kw, match) key."""
+
+    buckets: dict[int, np.ndarray]
+
+    def lookup(self, cell: int, kw_index: int, match: int) -> np.ndarray | None:
+        """Offer rows for one (cell, keyword, match) bucket."""
+        return self.buckets.get((cell * _MAX_KW + kw_index) * 3 + match)
+
+
+class MarketIndex:
+    """Static offer arrays plus per-day liveness computation."""
+
+    def __init__(self, accounts: list[MaterializedAccount]) -> None:
+        cells: list[int] = []
+        kws: list[int] = []
+        matches: list[int] = []
+        max_bids: list[float] = []
+        qualities: list[float] = []
+        click_qualities: list[float] = []
+        adv_rows: list[int] = []
+        advertiser_ids: list[int] = []
+        ad_ids: list[int] = []
+        active_from: list[float] = []
+        active_until: list[float] = []
+        fraud_labeled: list[bool] = []
+        verticals: list[int] = []
+        countries: list[int] = []
+        participation: list[float] = []
+
+        for row, account in enumerate(accounts):
+            participation.append(account.profile.participation_prob)
+            advertiser = account.advertiser
+            end = account.activity_end
+            for offer in account.offers:
+                vert = vertical_code(offer.vertical)
+                ctry = country_code(offer.country)
+                cells.append(CellSampler.cell_of(vert, ctry))
+                kws.append(offer.kw_index)
+                matches.append(match_code(offer.match_type))
+                max_bids.append(offer.max_bid)
+                qualities.append(offer.quality)
+                click_qualities.append(offer.click_quality)
+                adv_rows.append(row)
+                advertiser_ids.append(advertiser.advertiser_id)
+                ad_ids.append(offer.ad.ad_id)
+                active_from.append(offer.active_from)
+                active_until.append(end)
+                fraud_labeled.append(advertiser.labeled_fraud)
+                verticals.append(vert)
+                countries.append(ctry)
+
+        self.n_offers = len(cells)
+        self.n_accounts = len(accounts)
+        self.cell = np.asarray(cells, dtype=np.int32)
+        self.kw = np.asarray(kws, dtype=np.int16)
+        self.match = np.asarray(matches, dtype=np.int8)
+        self.max_bid = np.asarray(max_bids, dtype=np.float64)
+        self.quality = np.asarray(qualities, dtype=np.float64)
+        self.click_quality = np.asarray(click_qualities, dtype=np.float64)
+        self.adv_row = np.asarray(adv_rows, dtype=np.int32)
+        self.advertiser_id = np.asarray(advertiser_ids, dtype=np.int64)
+        self.ad_id = np.asarray(ad_ids, dtype=np.int64)
+        self.active_from = np.asarray(active_from, dtype=np.float64)
+        self.active_until = np.asarray(active_until, dtype=np.float64)
+        self.fraud_labeled = np.asarray(fraud_labeled, dtype=bool)
+        self.vertical = np.asarray(verticals, dtype=np.int16)
+        self.country = np.asarray(countries, dtype=np.int16)
+        self.participation = np.asarray(participation, dtype=np.float64)
+        if self.n_offers and int(self.kw.max()) >= _MAX_KW:
+            raise ValueError("keyword pool exceeds composite key capacity")
+        self._key = (self.cell.astype(np.int64) * _MAX_KW + self.kw) * 3 + self.match
+
+    def live_mask(self, time: float, rng: np.random.Generator) -> np.ndarray:
+        """Offers live at ``time``: active interval covers it, account on."""
+        if self.n_offers == 0:
+            return np.zeros(0, dtype=bool)
+        account_on = rng.random(self.n_accounts) < self.participation
+        return (
+            (self.active_from <= time)
+            & (time < self.active_until)
+            & account_on[self.adv_row]
+        )
+
+    def day_buckets(self, time: float, rng: np.random.Generator) -> DayBuckets:
+        """Group the day's live offers for O(1) query lookup."""
+        live = np.flatnonzero(self.live_mask(time, rng))
+        if live.size == 0:
+            return DayBuckets({})
+        keys = self._key[live]
+        order = np.argsort(keys, kind="stable")
+        sorted_live = live[order]
+        sorted_keys = keys[order]
+        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(sorted_keys)]))
+        buckets = {
+            int(sorted_keys[start]): sorted_live[start:end]
+            for start, end in zip(starts, ends)
+        }
+        return DayBuckets(buckets)
+
+    def country_volume_check(self) -> None:
+        """Internal consistency: country codes must index COUNTRIES."""
+        if self.n_offers and int(self.country.max()) >= len(COUNTRIES):
+            raise ValueError("country code out of range")

@@ -1,0 +1,192 @@
+"""Sampled query stream and pre-computed match tables.
+
+Queries are sampled per (vertical, country) cell proportionally to the
+joint search volume.  Each query starts from a *seed* keyword phrase in
+the vertical's pool and is optionally decorated with extra tokens
+(exercising phrase/broad matching) or shuffled (only broad survives a
+reorder).
+
+Eligibility of a (keyword, match-type) offer for a query depends only
+on (seed, decorated, shuffled), so per vertical we pre-compute a match
+table over pool x pool pairs using the real matcher, then answer
+eligibility in O(1) at query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..config import QueryConfig
+from ..entities.enums import MatchType
+from ..matching.matcher import broad_match, exact_match, phrase_match
+from ..records.codes import MATCH_CODES
+from ..taxonomy.geography import COUNTRIES
+from ..taxonomy.keywords import keyword_pool, keyword_weights
+from ..taxonomy.verticals import VERTICALS
+
+__all__ = ["Query", "MatchTable", "match_table", "CellSampler", "QuerySampler"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One sampled query instance (stands in for ``weight`` searches)."""
+
+    vertical: int
+    country: int
+    seed_index: int
+    decorated: bool
+    shuffled: bool
+    weight: float
+
+
+class MatchTable:
+    """Per-vertical eligibility of (keyword, match type) offers.
+
+    ``eligible(kw, match_code, seed, decorated, shuffled)`` answers: is
+    an offer on pool keyword ``kw`` with the given match type eligible
+    for a query seeded by pool phrase ``seed``?
+
+    * Exact: keyword == query, so only undecorated, unshuffled queries
+      whose seed equals the keyword.
+    * Phrase: keyword contiguous in query; decoration appends tokens
+      outside the seed so contiguity within the seed is what matters;
+      a shuffle breaks ordering.
+    * Broad: keyword tokens (or synonyms) anywhere in the query;
+      order-insensitive so shuffles are fine.
+    """
+
+    def __init__(self, vertical_name: str) -> None:
+        pool = keyword_pool(vertical_name)
+        size = len(pool)
+        self.exact = np.zeros((size, size), dtype=bool)
+        self.phrase = np.zeros((size, size), dtype=bool)
+        self.broad = np.zeros((size, size), dtype=bool)
+        for kw_index, keyword in enumerate(pool):
+            for seed_index, seed in enumerate(pool):
+                self.exact[kw_index, seed_index] = exact_match(keyword, seed)
+                self.phrase[kw_index, seed_index] = phrase_match(keyword, seed)
+                self.broad[kw_index, seed_index] = broad_match(keyword, seed)
+
+    def eligible(
+        self,
+        kw_index: int,
+        match_code: int,
+        seed_index: int,
+        decorated: bool,
+        shuffled: bool,
+    ) -> bool:
+        if match_code == MATCH_CODES[MatchType.EXACT]:
+            return (
+                not decorated
+                and not shuffled
+                and bool(self.exact[kw_index, seed_index])
+            )
+        if match_code == MATCH_CODES[MatchType.PHRASE]:
+            return not shuffled and bool(self.phrase[kw_index, seed_index])
+        return bool(self.broad[kw_index, seed_index])
+
+    def eligible_pairs(
+        self, seed_index: int, decorated: bool, shuffled: bool
+    ) -> list[tuple[int, int]]:
+        """All eligible (kw_index, match_code) pairs for a query shape."""
+        pairs: list[tuple[int, int]] = []
+        if not decorated and not shuffled:
+            for kw_index in np.flatnonzero(self.exact[:, seed_index]):
+                pairs.append((int(kw_index), MATCH_CODES[MatchType.EXACT]))
+        if not shuffled:
+            for kw_index in np.flatnonzero(self.phrase[:, seed_index]):
+                pairs.append((int(kw_index), MATCH_CODES[MatchType.PHRASE]))
+        for kw_index in np.flatnonzero(self.broad[:, seed_index]):
+            pairs.append((int(kw_index), MATCH_CODES[MatchType.BROAD]))
+        return pairs
+
+
+@lru_cache(maxsize=None)
+def match_table(vertical_name: str) -> MatchTable:
+    """Cached match table for a vertical."""
+    return MatchTable(vertical_name)
+
+
+class CellSampler:
+    """Samples (vertical, country) cells by joint query volume."""
+
+    def __init__(self) -> None:
+        vertical_volumes = np.array([v.query_volume for v in VERTICALS])
+        country_volumes = np.array([c.query_volume for c in COUNTRIES])
+        joint = np.outer(vertical_volumes, country_volumes).ravel()
+        self._probs = joint / joint.sum()
+        self._n_countries = len(COUNTRIES)
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of (vertical, country) cells."""
+        return len(self._probs)
+
+    def cell_probabilities(self) -> np.ndarray:
+        """Per-cell sampling probabilities (copy)."""
+        return self._probs.copy()
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Cell ids (vertical_code * n_countries + country_code)."""
+        return rng.choice(self.n_cells, size=size, p=self._probs)
+
+    def split(self, cell_id: int) -> tuple[int, int]:
+        """(vertical code, country code) of a cell id."""
+        return divmod(cell_id, self._n_countries)
+
+    @staticmethod
+    def cell_of(vertical_code: int, country_code: int) -> int:
+        """Cell id of a (vertical, country) pair."""
+        return vertical_code * len(COUNTRIES) + country_code
+
+
+class QuerySampler:
+    """Generates the day's query instances."""
+
+    def __init__(self, config: QueryConfig) -> None:
+        self._config = config
+        self._cells = CellSampler()
+        # Cumulative keyword popularity per vertical for fast seed draws.
+        self._seed_cdf = [
+            np.cumsum(keyword_weights(v.name)) for v in VERTICALS
+        ]
+
+    @property
+    def cells(self) -> CellSampler:
+        """The underlying cell sampler."""
+        return self._cells
+
+    def sample_day(self, rng: np.random.Generator) -> list[Query]:
+        """All query instances for one day."""
+        config = self._config
+        count = config.auctions_per_day
+        cell_ids = self._cells.sample(rng, count)
+        uniform = rng.random((count, 3))
+        queries: list[Query] = []
+        for index in range(count):
+            vertical_code, country_code = self._cells.split(int(cell_ids[index]))
+            seed_index = int(
+                np.searchsorted(self._seed_cdf[vertical_code], uniform[index, 0])
+            )
+            seed_index = min(seed_index, len(self._seed_cdf[vertical_code]) - 1)
+            decorated = uniform[index, 1] < config.decorate_prob
+            shuffled = decorated and uniform[index, 2] < config.shuffle_prob
+            factor = (
+                config.tail_weight_factor
+                if decorated
+                else config.head_weight_factor
+            )
+            queries.append(
+                Query(
+                    vertical=vertical_code,
+                    country=country_code,
+                    seed_index=seed_index,
+                    decorated=decorated,
+                    shuffled=shuffled,
+                    weight=config.volume_weight * factor,
+                )
+            )
+        return queries

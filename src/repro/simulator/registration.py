@@ -1,0 +1,52 @@
+"""Account arrival process.
+
+Daily registrations are Poisson; the share that is fraudulent ramps
+from ``fraud_share_start`` to ``fraud_share_end`` over the study with
+weekly noise -- Figure 1's "more than a third, and near the end more
+than half" of new registrations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import PopulationConfig
+from ..timeline import DAYS_PER_WEEK
+
+__all__ = ["FraudShareSchedule", "sample_daily_counts"]
+
+
+class FraudShareSchedule:
+    """Deterministic (per-seed) fraud share of registrations per day."""
+
+    def __init__(
+        self, config: PopulationConfig, total_days: int, rng: np.random.Generator
+    ) -> None:
+        self._config = config
+        self._total_days = max(1, total_days)
+        n_weeks = total_days // DAYS_PER_WEEK + 2
+        self._weekly_noise = rng.normal(0.0, config.fraud_share_noise, size=n_weeks)
+
+    def share(self, day: int) -> float:
+        """Fraud share of registrations on ``day``, in (0.02, 0.95)."""
+        config = self._config
+        fraction = min(1.0, day / self._total_days)
+        base = config.fraud_share_start + fraction * (
+            config.fraud_share_end - config.fraud_share_start
+        )
+        noisy = base + self._weekly_noise[day // DAYS_PER_WEEK]
+        return float(np.clip(noisy, 0.02, 0.95))
+
+
+def sample_daily_counts(
+    config: PopulationConfig,
+    schedule: FraudShareSchedule,
+    day: int,
+    rng: np.random.Generator,
+) -> tuple[int, int]:
+    """(fraud, nonfraud) registrations for ``day``."""
+    total = int(rng.poisson(config.registrations_per_day))
+    if total == 0:
+        return 0, 0
+    fraud = int(rng.binomial(total, schedule.share(day)))
+    return fraud, total - fraud

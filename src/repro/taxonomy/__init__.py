@@ -1,0 +1,57 @@
+"""Marketplace taxonomy: verticals, keywords, ad copy, and geography.
+
+This package defines the static "world" the simulator populates:
+advertising verticals (including the ten dubious verticals of Figure 8),
+per-vertical keyword pools and ad-copy templates (Table 2), and the
+country/market model behind Tables 1 and 3.
+"""
+
+from .adcopy import AdCopy, render_ad, sample_table2
+from .geography import (
+    COUNTRIES,
+    Country,
+    country,
+    country_codes,
+    fraud_registration_weights,
+    market_attractiveness,
+    nonfraud_registration_weights,
+    query_volume_weights,
+)
+from .keywords import DECORATOR_TOKENS, keyword_pool, keyword_weights
+from .verticals import (
+    DUBIOUS_VERTICALS,
+    VERTICALS,
+    Vertical,
+    dubious_vertical_names,
+    fraud_vertical_weights,
+    nonfraud_vertical_weights,
+    prolific_vertical_weights,
+    vertical,
+    vertical_names,
+)
+
+__all__ = [
+    "AdCopy",
+    "render_ad",
+    "sample_table2",
+    "COUNTRIES",
+    "Country",
+    "country",
+    "country_codes",
+    "fraud_registration_weights",
+    "nonfraud_registration_weights",
+    "market_attractiveness",
+    "query_volume_weights",
+    "DECORATOR_TOKENS",
+    "keyword_pool",
+    "keyword_weights",
+    "DUBIOUS_VERTICALS",
+    "VERTICALS",
+    "Vertical",
+    "vertical",
+    "vertical_names",
+    "dubious_vertical_names",
+    "fraud_vertical_weights",
+    "nonfraud_vertical_weights",
+    "prolific_vertical_weights",
+]

@@ -1,0 +1,180 @@
+"""Ad copy generation (titles and bodies).
+
+Templates per vertical mirror the flavour of the paper's Table 2.
+Fraudulent advertisers can render *evasive* copy: phone numbers broken
+up with injected text ("CALL 1-800 (USA) 555 1000") and look-alike
+characters substituted for blacklisted brand tokens -- the evasion
+behaviours of Section 5.2.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AdCopy", "render_ad", "sample_table2", "HOMOGLYPHS"]
+
+#: Look-alike character substitutions fraudsters use to evade blacklists.
+HOMOGLYPHS: dict[str, str] = {
+    "o": "0",
+    "i": "1",
+    "e": "é",  # é
+    "a": "à",  # à
+    "l": "ı",  # dotless i
+}
+
+
+@dataclass(frozen=True)
+class AdCopy:
+    """A rendered advertisement's text."""
+
+    title: str
+    body: str
+
+    def text(self) -> str:
+        """Full searchable text of the ad."""
+        return f"{self.title} {self.body}"
+
+
+_TEMPLATES: dict[str, list[AdCopy]] = {
+    "techsupport": [
+        AdCopy("Install Printer", "Call Our Helpline Number. Online Printer Support By Experts."),
+        AdCopy("Router Setup Help", "Certified Technicians Standing By. Call Now For Instant Support."),
+        AdCopy("Antivirus Support Line", "Fix Infections Today. Talk To A Support Expert. Call 1-800-555-1000."),
+        AdCopy("Accounting Software Support", "Premium Phone Support For Your Business Software. Call Today."),
+    ],
+    "downloads": [
+        AdCopy("Discordia Free Download", "Latest 2017 Version. 100% Free! Instantly Download Discordia Now!"),
+        AdCopy("Free PDF Reader", "Fast, Safe Download. No Registration Needed. Get It Now!"),
+        AdCopy("Media Converter Download", "Convert Any File Format Free. One Click Install."),
+        AdCopy("Driver Update Tool", "Fix Outdated Drivers Instantly. Free Scan & Download."),
+    ],
+    "luxury": [
+        AdCopy("75% Off COACHLINE Factory Outlet", "Enjoy 75% Off & High Quality COACHLINE Bags & Purses. Winter Sale Limited Time Offer"),
+        AdCopy("Designer Sunglasses Sale", "Authentic Styles Up To 80% Off. Free Shipping Today Only."),
+        AdCopy("Luxury Watches Outlet", "Genuine Designer Watches At Outlet Prices. Shop The Sale."),
+    ],
+    "weightloss": [
+        AdCopy("Lose 20 Pounds Fast", "Doctors Hate This Trick. Miracle Supplement Melts Fat Away!"),
+        AdCopy("Garcinia Extract Sale", "Pure Natural Formula. Burn Fat Without Diet Or Exercise."),
+        AdCopy("Slimming Tea Official", "Celebrity Endorsed Detox Tea. See Results In Days."),
+    ],
+    "wrinkles": [
+        AdCopy("Best Anti Wrinkle Cream", "Premium Skin Care Product! Removes Wrinkles in Weeks! Clinically Proven"),
+        AdCopy("Erase Wrinkles Tonight", "Dermatologist Secret Revealed. Look 10 Years Younger."),
+        AdCopy("Collagen Serum Sale", "Restore Youthful Skin. Limited Trial Offer. Order Now."),
+    ],
+    "impersonation": [
+        AdCopy("Targetmart - Online Shopping", "Store Hours & Locations. Go To Targetmart.com Online Shopping Now."),
+        AdCopy("Streamly Movies Online", "Watch Thousands Of Titles Instantly. Start Streaming Today."),
+        AdCopy("Tubeview Official Videos", "All Your Favorite Channels In One Place. Watch Free."),
+    ],
+    "shopping": [
+        AdCopy("Daily Deals Up To 90% Off", "New Deals Every Hour. Electronics, Fashion & More. Shop Now."),
+        AdCopy("Exclusive Coupon Codes", "Save Big At Checkout. Verified Codes Updated Daily."),
+    ],
+    "flights": [
+        AdCopy("Cheap Flights From $49", "Compare Hundreds Of Airlines In Seconds. Book Today & Save."),
+        AdCopy("Last Minute Flight Deals", "Unsold Seats At Huge Discounts. Limited Availability."),
+    ],
+    "games": [
+        AdCopy("Play Free Games Online", "No Download Needed. Thousands Of Games. Play Instantly."),
+        AdCopy("Top Strategy Game 2017", "Build Your Empire. Join Millions Of Players Free."),
+    ],
+    "chronic": [
+        AdCopy("End Joint Pain Naturally", "Breakthrough Formula Relieves Pain In Days. Try Risk Free."),
+        AdCopy("Tinnitus Miracle Cure", "Silence The Ringing For Good. Doctors Are Amazed."),
+    ],
+    "phishing": [
+        AdCopy("Bankora Account Login", "Secure Sign In To Your Bankora Account. Verify Your Details Now."),
+        AdCopy("Paypath Sign In", "Access Your Paypath Account. Confirm Your Information Today."),
+    ],
+    "_generic": [
+        AdCopy("Quality Service You Can Trust", "Serving Customers Since 1998. Free Quotes. Satisfaction Guaranteed."),
+        AdCopy("Official Site - Shop Online", "Wide Selection, Great Prices, Fast Shipping. Order Today."),
+        AdCopy("Compare Top Providers", "Find The Best Option For You In Minutes. Start Your Free Search."),
+        AdCopy("Limited Time Offer", "Save Up To 40% This Season. See Store For Details."),
+    ],
+}
+
+#: Obfuscated phone-number fragments used by evasive tech-support ads.
+_OBFUSCATED_PHONES: tuple[str, ...] = (
+    "CALL 1-800 (USA) 555 1000",
+    "Dial 1.8OO.555.31OO Toll Free",
+    "Helpline one 800 555 2200",
+    "Ring 18OO-555-44OO Now",
+)
+
+
+def _apply_homoglyphs(text: str, rng: np.random.Generator) -> str:
+    """Substitute a few characters with look-alikes."""
+    chars = list(text)
+    candidates = [i for i, c in enumerate(chars) if c.lower() in HOMOGLYPHS]
+    if not candidates:
+        return text
+    count = max(1, len(candidates) // 6)
+    for index in rng.choice(len(candidates), size=count, replace=False):
+        position = candidates[int(index)]
+        chars[position] = HOMOGLYPHS[chars[position].lower()]
+    return "".join(chars)
+
+
+def _is_risky(template: AdCopy) -> bool:
+    """Whether the template plainly trips the launch blacklist."""
+    from ..matching.blacklist import PHONE_PATTERN
+    from ..matching.normalize import normalize_token
+    from .keywords import BRAND_TOKENS
+
+    tokens = {normalize_token(t) for t in template.text().split()}
+    brands = {normalize_token(t) for t in BRAND_TOKENS}
+    if tokens & brands:
+        return True
+    return PHONE_PATTERN.search(template.text()) is not None
+
+
+def render_ad(
+    vertical_name: str,
+    rng: np.random.Generator,
+    evasive: bool = False,
+) -> AdCopy:
+    """Render ad copy for a vertical.
+
+    Args:
+        vertical_name: The advertiser's vertical; unknown verticals fall
+            back to generic retail-style copy.
+        rng: Random stream for template choice and evasion noise.
+        evasive: Render blacklist-evading copy.  Evasive advertisers
+            "rely on phrasing that is not easily blacklisted outright"
+            (Section 5.2.4): they prefer templates without brand tokens
+            or phone numbers where the vertical offers one, and apply
+            homoglyphs / phone obfuscation to whatever risk remains.
+            Impersonation and phishing have no clean templates -- the
+            fraudster must name the institution to impersonate it.
+    """
+    templates = _TEMPLATES.get(vertical_name, _TEMPLATES["_generic"])
+    if evasive:
+        clean = [t for t in templates if not _is_risky(t)]
+        if clean:
+            templates = clean
+    template = templates[int(rng.integers(len(templates)))]
+    if not evasive:
+        return template
+    body = template.body
+    if vertical_name == "techsupport":
+        phone = _OBFUSCATED_PHONES[int(rng.integers(len(_OBFUSCATED_PHONES)))]
+        body = f"{body.rsplit('.', 1)[0]}. {phone}."
+    if _is_risky(template):
+        return AdCopy(
+            _apply_homoglyphs(template.title, rng), _apply_homoglyphs(body, rng)
+        )
+    return AdCopy(template.title, body)
+
+
+def sample_table2() -> list[tuple[str, str, str]]:
+    """(category, title, body) rows reproducing the paper's Table 2."""
+    rows = []
+    for category in ("techsupport", "downloads", "luxury", "wrinkles", "impersonation"):
+        template = _TEMPLATES[category][0]
+        rows.append((category, template.title, template.body))
+    return rows

@@ -1,0 +1,141 @@
+"""Countries, markets, languages and currencies.
+
+Two distinct distributions from the paper are encoded here:
+
+* **Registration mix** (Table 1): where fraudulent and non-fraudulent
+  advertisers say they are based.  Fraud skews heavily to
+  English-speaking countries -- primarily the US and India.
+* **Click-market mix** (Table 3): where fraudulent clicks land.  The US
+  receives ~61% of fraudulent clicks; Brazil has the highest *fraction*
+  of its clicks going to fraud (<6%), while the UK and France are
+  notably cleaner (<1%).
+
+Advertisers mostly target their home market, but fraudsters -- notably
+India-registered tech-support operations -- disproportionately target
+the US; :func:`market_attractiveness` captures that pull.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Country",
+    "COUNTRIES",
+    "country",
+    "country_codes",
+    "fraud_registration_weights",
+    "nonfraud_registration_weights",
+    "market_attractiveness",
+    "query_volume_weights",
+    "home_targeting_prob",
+]
+
+
+@dataclass(frozen=True)
+class Country:
+    """A registration country / advertising market.
+
+    Attributes:
+        code: ISO-3166 alpha-2 code.
+        language: Dominant advertising language.
+        currency: Home currency at registration.
+        query_volume: Relative share of the platform's search volume.
+        fraud_reg_weight: Relative rate of fraudulent registrations.
+        nonfraud_reg_weight: Relative rate of legitimate registrations.
+        fraud_market_pull: Relative attractiveness of this market to
+            fraudsters advertising outside their home country.
+        home_bias: Probability that an advertiser registered here
+            targets its home market on any given campaign.
+    """
+
+    code: str
+    language: str
+    currency: str
+    query_volume: float
+    fraud_reg_weight: float
+    nonfraud_reg_weight: float
+    fraud_market_pull: float
+    home_bias: float
+
+    def __post_init__(self) -> None:
+        if self.query_volume <= 0:
+            raise ValueError(f"{self.code}: query_volume must be > 0")
+        if not 0.0 <= self.home_bias <= 1.0:
+            raise ValueError(f"{self.code}: home_bias must be in [0, 1]")
+        for attr in ("fraud_reg_weight", "nonfraud_reg_weight", "fraud_market_pull"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{self.code}: {attr} must be >= 0")
+
+
+# Calibration notes:
+#  - fraud_reg_weight targets Table 1 ('all fraud' row: US 50.3, IN 17.2,
+#    GB 14.3, BR 2.5, AU 1.8, rest spread thin).
+#  - query_volume and fraud_market_pull jointly target Table 3: US ~61%
+#    of fraud clicks at <2% of US clicks; BR ~10% of fraud at the highest
+#    per-country rate (<6%); DE ~10%; GB/FR clean (<1%).
+#  - IN has low home_bias: India-registered fraud predominantly targets
+#    the US (third-party tech support).
+COUNTRIES: tuple[Country, ...] = (
+    Country("US", "en", "USD", 58.0, 50.3, 42.0, 6.0, 0.92),
+    Country("IN", "en", "INR", 2.5, 17.2, 6.0, 0.6, 0.10),
+    Country("GB", "en", "GBP", 7.0, 14.3, 14.0, 0.5, 0.25),
+    Country("BR", "pt", "BRL", 3.0, 2.5, 3.0, 14.0, 0.85),
+    Country("AU", "en", "AUD", 2.5, 1.8, 4.0, 0.7, 0.60),
+    Country("CA", "en", "CAD", 4.5, 1.7, 6.0, 3.0, 0.65),
+    Country("DE", "de", "EUR", 6.5, 1.6, 8.0, 12.0, 0.80),
+    Country("FR", "fr", "EUR", 5.5, 1.2, 6.0, 0.8, 0.80),
+    Country("MX", "es", "MXN", 2.0, 1.0, 2.0, 1.2, 0.80),
+    Country("SE", "sv", "SEK", 1.5, 0.8, 2.0, 0.8, 0.75),
+    Country("NL", "nl", "EUR", 1.8, 0.7, 2.5, 0.3, 0.75),
+    Country("ES", "es", "EUR", 2.2, 0.7, 2.5, 0.5, 0.80),
+    Country("IT", "it", "EUR", 2.0, 0.6, 2.0, 0.4, 0.80),
+    Country("JP", "ja", "JPY", 1.0, 0.2, 2.0, 0.15, 0.70),
+)
+
+_BY_CODE = {c.code: c for c in COUNTRIES}
+
+
+def country(code: str) -> Country:
+    """Look up a country by ISO code."""
+    try:
+        return _BY_CODE[code]
+    except KeyError:
+        raise KeyError(f"unknown country: {code!r}") from None
+
+
+def country_codes() -> list[str]:
+    """All country ISO codes, in table order."""
+    return [c.code for c in COUNTRIES]
+
+
+def _normalized(values: list[float]) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    return array / array.sum()
+
+
+def fraud_registration_weights() -> tuple[list[str], np.ndarray]:
+    """(codes, probabilities) of a fraudulent account's home country."""
+    return country_codes(), _normalized([c.fraud_reg_weight for c in COUNTRIES])
+
+
+def nonfraud_registration_weights() -> tuple[list[str], np.ndarray]:
+    """(codes, probabilities) of a legitimate account's home country."""
+    return country_codes(), _normalized([c.nonfraud_reg_weight for c in COUNTRIES])
+
+
+def market_attractiveness() -> tuple[list[str], np.ndarray]:
+    """(codes, probabilities) for a fraudster's non-home target market."""
+    return country_codes(), _normalized([c.fraud_market_pull for c in COUNTRIES])
+
+
+def query_volume_weights() -> tuple[list[str], np.ndarray]:
+    """(codes, probabilities) of a random search landing in each market."""
+    return country_codes(), _normalized([c.query_volume for c in COUNTRIES])
+
+
+def home_targeting_prob(code: str) -> float:
+    """Probability an advertiser registered in ``code`` targets home."""
+    return country(code).home_bias

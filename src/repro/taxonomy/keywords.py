@@ -1,0 +1,343 @@
+"""Per-vertical keyword pools.
+
+Each vertical owns a pool of keyword phrases built from head terms and
+modifiers.  Pools are deterministic (no RNG) so that keyword identity is
+stable across runs; popularity follows a Zipf distribution, mirroring
+real search-demand curves.
+
+The pools deliberately mix freely-biddable terms ("news", "download",
+"skin care") with terms that trip the platform's blacklists (brand
+names in ``impersonation``/``phishing``, phone-number bait in
+``techsupport``), because the paper's fraudsters survive precisely by
+picking phrasing "that [is] not easily blacklisted outright".
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "keyword_pool",
+    "keyword_weights",
+    "DECORATOR_TOKENS",
+    "BRAND_TOKENS",
+]
+
+Keyword = tuple[str, ...]
+
+#: Tokens that users commonly add around a keyword phrase; queries are
+#: decorated with these to exercise phrase/broad matching.
+DECORATOR_TOKENS: tuple[str, ...] = (
+    "best",
+    "cheap",
+    "free",
+    "online",
+    "buy",
+    "top",
+    "new",
+    "official",
+    "near",
+    "me",
+    "2017",
+    "review",
+    "deal",
+)
+
+#: Brand-like tokens; impersonation and phishing keywords embed these,
+#: and the platform's trademark blacklist watches for them.
+BRAND_TOKENS: tuple[str, ...] = (
+    "streamly",
+    "targetmart",
+    "coachline",
+    "discordia",
+    "tubeview",
+    "facelook",
+    "bankora",
+    "paypath",
+    "amazonia",
+    "microtech",
+)
+
+_HEADS: dict[str, list[str]] = {
+    "techsupport": [
+        "printer support",
+        "router setup",
+        "antivirus help",
+        "computer repair",
+        "accounting software support",
+        "install printer",
+        "email not working",
+        "laptop slow fix",
+        "wifi troubleshooting",
+        "pc error help",
+    ],
+    "downloads": [
+        "free download",
+        "software download",
+        "discordia download",
+        "video player download",
+        "pdf reader",
+        "zip tool",
+        "media converter",
+        "open source editor",
+        "driver update",
+        "browser download",
+    ],
+    "luxury": [
+        "designer sunglasses",
+        "coachline outlet",
+        "luxury handbags",
+        "designer watches",
+        "leather purse sale",
+        "designer shoes",
+        "luxury belts",
+        "outlet factory store",
+    ],
+    "weightloss": [
+        "weight loss",
+        "diet pills",
+        "fat burner",
+        "lose weight fast",
+        "garcinia extract",
+        "slimming tea",
+        "miracle supplement",
+        "body building supplement",
+    ],
+    "wrinkles": [
+        "anti wrinkle cream",
+        "skin care",
+        "anti aging serum",
+        "wrinkle remover",
+        "eye cream",
+        "face lift cream",
+        "collagen cream",
+    ],
+    "impersonation": [
+        "streamly movies",
+        "tubeview videos",
+        "targetmart store hours",
+        "facelook login help",
+        "amazonia deals",
+        "news today",
+        "watch series online",
+        "search engine",
+        "social network",
+    ],
+    "shopping": [
+        "online shopping",
+        "discount codes",
+        "daily deals",
+        "coupon codes",
+        "clearance sale",
+        "flash sale",
+        "wholesale prices",
+        "gift ideas",
+    ],
+    "flights": [
+        "cheap flights",
+        "airline tickets",
+        "last minute flights",
+        "flight deals",
+        "business class fares",
+        "hotel and flight",
+    ],
+    "games": [
+        "free games",
+        "online games",
+        "game download",
+        "browser games",
+        "puzzle games",
+        "strategy game",
+    ],
+    "chronic": [
+        "pain relief",
+        "joint supplement",
+        "arthritis cream",
+        "nerve pain remedy",
+        "tinnitus cure",
+        "diabetes supplement",
+    ],
+    "phishing": [
+        "bankora login",
+        "paypath account",
+        "credit union login",
+        "webmail sign in",
+        "bank account access",
+        "verify account",
+    ],
+    "retail": [
+        "department store",
+        "home goods",
+        "kitchen appliances",
+        "furniture sale",
+        "garden supplies",
+        "office supplies",
+        "toys",
+        "sporting goods",
+    ],
+    "insurance": [
+        "car insurance",
+        "life insurance quotes",
+        "home insurance",
+        "health insurance plans",
+        "renters insurance",
+        "insurance comparison",
+    ],
+    "travel": [
+        "vacation packages",
+        "hotel deals",
+        "cruise deals",
+        "city breaks",
+        "travel insurance",
+        "car rental",
+    ],
+    "automotive": [
+        "new cars",
+        "used cars",
+        "car dealership",
+        "auto parts",
+        "oil change",
+        "tire shop",
+    ],
+    "education": [
+        "online degree",
+        "mba program",
+        "coding bootcamp",
+        "language course",
+        "certification training",
+    ],
+    "finance": [
+        "personal loan",
+        "credit card offers",
+        "mortgage rates",
+        "savings account",
+        "stock trading",
+        "debt consolidation",
+    ],
+    "realestate": [
+        "homes for sale",
+        "apartments for rent",
+        "real estate agent",
+        "condo listings",
+        "property values",
+    ],
+    "software_b2b": [
+        "crm software",
+        "payroll software",
+        "project management tool",
+        "cloud backup",
+        "help desk software",
+    ],
+    "health": [
+        "dentist",
+        "urgent care",
+        "physical therapy",
+        "eye doctor",
+        "dermatologist",
+        "vitamins",
+    ],
+    "legal": [
+        "personal injury lawyer",
+        "divorce attorney",
+        "immigration lawyer",
+        "estate planning",
+        "dui attorney",
+    ],
+    "homeservices": [
+        "plumber",
+        "electrician",
+        "roof repair",
+        "house cleaning",
+        "pest control",
+        "hvac repair",
+    ],
+    "electronics": [
+        "laptop deals",
+        "smartphone sale",
+        "tv deals",
+        "headphones",
+        "camera sale",
+        "tablet deals",
+    ],
+    "fashion": [
+        "dresses",
+        "mens shoes",
+        "winter jackets",
+        "jeans sale",
+        "accessories",
+        "sneakers",
+    ],
+    "food": [
+        "pizza delivery",
+        "meal kits",
+        "restaurant near me",
+        "coffee beans",
+        "organic groceries",
+    ],
+    "jobs": [
+        "jobs hiring",
+        "remote jobs",
+        "part time work",
+        "resume help",
+        "career openings",
+    ],
+}
+
+_EXPANSIONS: tuple[str, ...] = ("online", "service", "number", "site", "store")
+
+
+@lru_cache(maxsize=None)
+def keyword_pool(vertical_name: str) -> tuple[Keyword, ...]:
+    """The keyword phrases biddable in a vertical, most popular first.
+
+    The pool contains each head phrase plus deterministic two-way
+    expansions, giving each vertical a few dozen distinct phrases.
+    """
+    try:
+        heads = _HEADS[vertical_name]
+    except KeyError:
+        raise KeyError(f"no keyword pool for vertical {vertical_name!r}") from None
+    pool: list[Keyword] = []
+    seen: set[Keyword] = set()
+    for head in heads:
+        phrase = tuple(head.split())
+        if phrase not in seen:
+            seen.add(phrase)
+            pool.append(phrase)
+    for index, head in enumerate(heads):
+        expansion = _EXPANSIONS[index % len(_EXPANSIONS)]
+        phrase = tuple(head.split()) + (expansion,)
+        if phrase not in seen:
+            seen.add(phrase)
+            pool.append(phrase)
+    return tuple(pool)
+
+
+@lru_cache(maxsize=None)
+def risky_keyword_mask(vertical_name: str) -> tuple[bool, ...]:
+    """Which pool phrases contain blacklisted brand tokens.
+
+    Skilled fraudsters avoid bidding these outright (Section 5.2.4:
+    successful fraud relies on phrasing "not easily blacklisted") --
+    except in impersonation/phishing, where naming the brand is the
+    point.
+    """
+    from ..matching.normalize import normalize_token
+
+    brands = {normalize_token(token) for token in BRAND_TOKENS}
+    mask = []
+    for phrase in keyword_pool(vertical_name):
+        tokens = {normalize_token(token) for token in phrase}
+        mask.append(bool(tokens & brands))
+    return tuple(mask)
+
+
+@lru_cache(maxsize=None)
+def keyword_weights(vertical_name: str, exponent: float = 1.1) -> np.ndarray:
+    """Zipf popularity weights aligned with :func:`keyword_pool`."""
+    size = len(keyword_pool(vertical_name))
+    ranks = np.arange(1, size + 1, dtype=float)
+    weights = ranks**-exponent
+    return weights / weights.sum()

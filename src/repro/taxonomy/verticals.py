@@ -1,0 +1,165 @@
+"""Advertising verticals.
+
+The paper finds fraudulent advertisers concentrated in a small set of
+"relatively lucrative, but often dubious verticals" (Figure 8 names ten:
+techsupport, downloads, luxury, flights, wrinkles, impersonation,
+weightloss, shopping, games, chronic).  Legitimate advertisers span a
+much wider set; a minority of legitimate advertisers also operate in the
+dubious verticals, which is where competition with fraud happens
+(Section 6).
+
+Each vertical carries the economic parameters the rest of the simulator
+needs: relative user query volume, value per click (drives bids; the
+tech-support model monetizes hundred-dollar support calls, hence CPCs in
+the tens of dollars), baseline ad engagement, and how attractive the
+vertical is to each advertiser population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Vertical",
+    "VERTICALS",
+    "DUBIOUS_VERTICALS",
+    "vertical",
+    "vertical_names",
+    "dubious_vertical_names",
+    "fraud_vertical_weights",
+    "nonfraud_vertical_weights",
+    "prolific_vertical_weights",
+]
+
+
+@dataclass(frozen=True)
+class Vertical:
+    """A market segment advertisers compete in.
+
+    Attributes:
+        name: Stable identifier (used in records and figures).
+        dubious: Whether the vertical is one the paper's fraudsters
+            occupy; only dubious verticals see fraud/nonfraud overlap.
+        query_volume: Relative share of user search volume.
+        value_per_click: Typical advertiser value of a click in USD;
+            scales bid levels.
+        base_ctr: Baseline probability that an examined, well-targeted
+            ad in this vertical is clicked.
+        fraud_weight: Relative probability that a typical fraudulent
+            account picks this vertical.
+        prolific_weight: Same, for prolific fraud operators (who focus
+            on fewer, more specialized and lucrative verticals).
+        nonfraud_weight: Relative probability for legitimate accounts.
+    """
+
+    name: str
+    dubious: bool
+    query_volume: float
+    value_per_click: float
+    base_ctr: float
+    fraud_weight: float
+    prolific_weight: float
+    nonfraud_weight: float
+
+    def __post_init__(self) -> None:
+        if self.query_volume <= 0:
+            raise ValueError(f"{self.name}: query_volume must be > 0")
+        if self.value_per_click <= 0:
+            raise ValueError(f"{self.name}: value_per_click must be > 0")
+        if not 0.0 < self.base_ctr < 1.0:
+            raise ValueError(f"{self.name}: base_ctr must be in (0, 1)")
+        for attr in ("fraud_weight", "prolific_weight", "nonfraud_weight"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{self.name}: {attr} must be >= 0")
+
+
+# The dubious verticals of Figure 8, ordered by overall fraud prevalence.
+# 'downloads' leads in clicks ("top categories in terms of clicks are
+# typically sites dedicated to offering downloads of popular software");
+# 'techsupport' leads in spend until the Year-2 policy ban.
+_DUBIOUS = [
+    Vertical("downloads", True, 0.90, 0.8, 0.060, 4.5, 1.2, 0.22),
+    Vertical("techsupport", True, 0.35, 24.0, 0.050, 1.0, 3.2, 0.10),
+    Vertical("luxury", True, 0.35, 3.0, 0.045, 1.6, 1.3, 0.30),
+    Vertical("weightloss", True, 0.30, 4.5, 0.045, 1.4, 1.1, 0.25),
+    Vertical("wrinkles", True, 0.20, 4.0, 0.040, 1.0, 0.9, 0.18),
+    Vertical("impersonation", True, 0.60, 1.2, 0.055, 1.8, 0.8, 0.08),
+    Vertical("shopping", True, 0.80, 1.5, 0.045, 1.3, 0.6, 0.90),
+    Vertical("flights", True, 0.45, 2.5, 0.045, 0.8, 0.7, 0.60),
+    Vertical("games", True, 0.45, 0.9, 0.050, 1.0, 0.5, 0.25),
+    Vertical("chronic", True, 0.25, 5.0, 0.035, 0.7, 0.8, 0.15),
+    # Credential phishing is a small but noteworthy slice (Section 5.2.2).
+    Vertical("phishing", True, 0.15, 2.0, 0.050, 0.15, 0.05, 0.0),
+]
+
+# Legitimate-only verticals.  Fraud weight zero: the paper finds "most
+# verticals have no overlap with fraudulent advertising at all".
+_LEGITIMATE = [
+    Vertical("retail", False, 5.0, 1.2, 0.050, 0.0, 0.0, 5.0),
+    Vertical("insurance", False, 1.8, 18.0, 0.035, 0.0, 0.0, 2.2),
+    Vertical("travel", False, 2.8, 3.0, 0.045, 0.0, 0.0, 3.0),
+    Vertical("automotive", False, 2.2, 4.0, 0.040, 0.0, 0.0, 2.4),
+    Vertical("education", False, 1.6, 8.0, 0.035, 0.0, 0.0, 1.8),
+    Vertical("finance", False, 2.0, 14.0, 0.035, 0.0, 0.0, 2.0),
+    Vertical("realestate", False, 1.5, 6.0, 0.035, 0.0, 0.0, 1.6),
+    Vertical("software_b2b", False, 1.2, 10.0, 0.035, 0.0, 0.0, 1.4),
+    Vertical("health", False, 2.4, 3.5, 0.040, 0.0, 0.0, 2.6),
+    Vertical("legal", False, 0.9, 20.0, 0.030, 0.0, 0.0, 1.2),
+    Vertical("homeservices", False, 1.4, 7.0, 0.040, 0.0, 0.0, 1.8),
+    Vertical("electronics", False, 2.6, 1.8, 0.050, 0.0, 0.0, 2.8),
+    Vertical("fashion", False, 2.4, 1.5, 0.050, 0.0, 0.0, 2.6),
+    Vertical("food", False, 1.8, 1.0, 0.050, 0.0, 0.0, 2.0),
+    Vertical("jobs", False, 1.6, 2.5, 0.040, 0.0, 0.0, 1.6),
+]
+
+VERTICALS: tuple[Vertical, ...] = tuple(_DUBIOUS + _LEGITIMATE)
+DUBIOUS_VERTICALS: tuple[Vertical, ...] = tuple(v for v in VERTICALS if v.dubious)
+
+_BY_NAME = {v.name: v for v in VERTICALS}
+
+
+def vertical(name: str) -> Vertical:
+    """Look up a vertical by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown vertical: {name!r}") from None
+
+
+def vertical_names() -> list[str]:
+    """All vertical names, dubious first."""
+    return [v.name for v in VERTICALS]
+
+
+def dubious_vertical_names() -> list[str]:
+    """Names of the fraud-occupied verticals."""
+    return [v.name for v in DUBIOUS_VERTICALS]
+
+
+def _normalized(weights: list[float]) -> np.ndarray:
+    array = np.asarray(weights, dtype=float)
+    return array / array.sum()
+
+
+def fraud_vertical_weights() -> tuple[list[str], np.ndarray]:
+    """(names, probabilities) for a typical fraudulent account's vertical."""
+    names = [v.name for v in VERTICALS if v.fraud_weight > 0]
+    return names, _normalized([v.fraud_weight for v in VERTICALS if v.fraud_weight > 0])
+
+
+def prolific_vertical_weights() -> tuple[list[str], np.ndarray]:
+    """(names, probabilities) for prolific fraud operators."""
+    names = [v.name for v in VERTICALS if v.prolific_weight > 0]
+    return names, _normalized(
+        [v.prolific_weight for v in VERTICALS if v.prolific_weight > 0]
+    )
+
+
+def nonfraud_vertical_weights() -> tuple[list[str], np.ndarray]:
+    """(names, probabilities) for legitimate accounts."""
+    names = [v.name for v in VERTICALS if v.nonfraud_weight > 0]
+    return names, _normalized(
+        [v.nonfraud_weight for v in VERTICALS if v.nonfraud_weight > 0]
+    )

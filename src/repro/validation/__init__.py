@@ -1,0 +1,13 @@
+"""Validation against the paper's reported values."""
+
+from .suite import TARGETS, measure_all, render_report, run_validation
+from .targets import CheckResult, TargetBand
+
+__all__ = [
+    "TARGETS",
+    "measure_all",
+    "run_validation",
+    "render_report",
+    "CheckResult",
+    "TargetBand",
+]

@@ -1,0 +1,43 @@
+"""Command line validation: simulate and check every paper target.
+
+    python -m repro.validation [--small] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..config import default_config, small_config
+from ..simulator.cache import cached_simulation
+from .suite import render_report, run_validation
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="repro-validate")
+    parser.add_argument("--small", action="store_true",
+                        help="use the fast test-scale configuration")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero if any target misses its band",
+    )
+    args = parser.parse_args(argv)
+    if args.small:
+        config = small_config() if args.seed is None else small_config(seed=args.seed)
+    else:
+        config = (
+            default_config() if args.seed is None else default_config(seed=args.seed)
+        )
+    result = cached_simulation(config)
+    checks = run_validation(result)
+    print(render_report(checks))
+    if args.strict and any(not check.ok for check in checks):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Paper-reported calibration targets.
+
+Each target couples a measured quantity (computed from a
+:class:`~repro.simulator.results.SimulationResult`) with the band the
+paper reports.  Bands are deliberately wide where the paper is
+qualitative; the validation suite is a drift alarm, not a curve fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TargetBand", "CheckResult"]
+
+
+@dataclass(frozen=True)
+class TargetBand:
+    """An acceptance band for one measured quantity.
+
+    Attributes:
+        name: Stable identifier (used in reports).
+        paper: Human-readable statement of the paper's value.
+        low/high: Inclusive acceptance bounds; ``None`` means unbounded.
+        section: Paper section/figure the target comes from.
+    """
+
+    name: str
+    paper: str
+    low: float | None
+    high: float | None
+    section: str
+
+    def check(self, measured: float) -> "CheckResult":
+        """Evaluate a measured value against the band."""
+        ok = True
+        if measured != measured:  # NaN
+            ok = False
+        else:
+            if self.low is not None and measured < self.low:
+                ok = False
+            if self.high is not None and measured > self.high:
+                ok = False
+        return CheckResult(target=self, measured=measured, ok=ok)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one target check."""
+
+    target: TargetBand
+    measured: float
+    ok: bool
+
+    def render(self) -> str:
+        """One-line human-readable check outcome."""
+        status = "ok  " if self.ok else "MISS"
+        return (
+            f"[{status}] {self.target.name:<42} "
+            f"paper: {self.target.paper:<28} measured: {self.measured:.4g} "
+            f"({self.target.section})"
+        )

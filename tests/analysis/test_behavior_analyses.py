@@ -1,0 +1,152 @@
+"""Tests for Section-5 analyses: rates, targeting, verticals, geography,
+bidding."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bidding import (
+    above_default_share,
+    bid_level_distributions,
+    clicks_by_match_type,
+    match_mix_distributions,
+)
+from repro.analysis.geography import (
+    fraud_clicks_by_country,
+    registration_country_table,
+)
+from repro.analysis.rates import impression_rates, rate_vs_clicks
+from repro.analysis.subsets import SubsetBuilder
+from repro.analysis.targeting import count_in_window, targeting_distributions
+from repro.analysis.verticals import vertical_spend_by_month
+from repro.errors import AnalysisError
+from repro.timeline import Window
+
+
+@pytest.fixture(scope="module")
+def subsets(sim_result, sim_window):
+    return SubsetBuilder(sim_result, sim_window, target_size=400).build_many()
+
+
+class TestRates:
+    def test_distributions(self, sim_result, sim_window):
+        rates = impression_rates(sim_result, sim_window)
+        assert len(rates.fraud) > 0
+        assert len(rates.nonfraud) > 0
+        assert (rates.fraud.x > 0).all()
+
+    def test_fraud_faster(self, sim_result, sim_window):
+        rates = impression_rates(sim_result, sim_window)
+        assert rates.fraud.median > rates.nonfraud.median
+
+    def test_scatter_alignment(self, sim_result, sim_window):
+        scatter = rate_vs_clicks(sim_result, sim_window)
+        assert len(scatter.fraud_rate) == len(scatter.fraud_clicks)
+        assert len(scatter.nonfraud_rate) == len(scatter.nonfraud_clicks)
+        assert (scatter.nonfraud_clicks >= 0).all()
+
+
+class TestTargeting:
+    def test_count_in_window(self):
+        times = np.array([1.0, 2.0, 5.0, 9.0])
+        assert count_in_window(times, Window(2.0, 9.0)) == 2
+        assert count_in_window(np.array([]), Window(0.0, 1.0)) == 0
+
+    def test_distributions(self, subsets, sim_window):
+        dist = targeting_distributions(subsets, sim_window)
+        for kind in ("ads_created", "kw_created", "ads_modified", "kw_modified"):
+            panel = dist.panel(kind)
+            assert "F with clicks" in panel
+        assert dist.norms["ads_created"] >= 1.0
+
+    def test_unknown_panel(self, subsets, sim_window):
+        dist = targeting_distributions(subsets, sim_window)
+        with pytest.raises(AnalysisError):
+            dist.panel("bogus")
+
+    def test_fraud_footprint_smaller(self, subsets, sim_window):
+        dist = targeting_distributions(subsets, sim_window)
+        fraud = dist.panel("kw_created")["F with clicks"]
+        nonfraud = dist.panel("kw_created")["NF with clicks"]
+        assert fraud.median < nonfraud.median
+
+    def test_norm_requires_reference(self, subsets, sim_window):
+        partial = {k: v for k, v in subsets.items() if k != "NF with clicks"}
+        with pytest.raises(AnalysisError):
+            targeting_distributions(partial, sim_window)
+
+
+class TestVerticals:
+    def test_series(self, sim_result):
+        series = vertical_spend_by_month(sim_result)
+        assert "techsupport" in series.series
+        for values in series.series.values():
+            assert len(values) == len(series.months)
+            assert (values >= 0).all()
+
+    def test_top_verticals_ranked(self, sim_result):
+        series = vertical_spend_by_month(sim_result)
+        top = series.top_verticals(3)
+        totals = [series.series[name].sum() for name in top]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_spend_filter_reduces(self, sim_result):
+        full = vertical_spend_by_month(sim_result)
+        filtered = vertical_spend_by_month(sim_result, min_monthly_spend=1e12)
+        assert sum(v.sum() for v in filtered.series.values()) <= sum(
+            v.sum() for v in full.series.values()
+        )
+
+
+class TestGeography:
+    def test_click_table(self, sim_result, sim_window):
+        rows = fraud_clicks_by_country(sim_result, sim_window)
+        shares = [r.share_of_fraud for r in rows]
+        assert sum(shares) == pytest.approx(1.0, abs=1e-6)
+        assert all(0 <= r.share_of_country <= 1 for r in rows)
+        assert shares == sorted(shares, reverse=True)
+
+    def test_registration_table(self, subsets):
+        table = registration_country_table(
+            {"Fraud": subsets["Fraud"]}, top=5
+        )
+        entries = table["Fraud"]
+        assert len(entries) <= 5
+        percentages = [p for _, p in entries]
+        assert percentages == sorted(percentages, reverse=True)
+        assert entries[0][0] == "US"
+
+
+class TestBidding:
+    def test_match_mix_curves(self, subsets):
+        mixes = match_mix_distributions(subsets)
+        for name in ("exact", "phrase", "broad"):
+            assert "F with clicks" in mixes.curves[name]
+        fraud_broad = mixes.curves["broad"]["F with clicks"]
+        nonfraud_broad = mixes.curves["broad"]["NF with clicks"]
+        if len(fraud_broad) and len(nonfraud_broad):
+            # Fraud leans on broad/phrase more than nonfraud.
+            assert fraud_broad.at(0.05) <= nonfraud_broad.at(0.05) + 0.3
+
+    def test_bid_levels_positive(self, subsets):
+        levels = bid_level_distributions(subsets, default_max_bid=0.5)
+        for name in ("exact", "phrase", "broad"):
+            for curve in levels.curves[name].values():
+                if len(curve):
+                    assert (curve.x > 0).all()
+
+    def test_clicks_by_match_type(self, sim_result, sim_window):
+        rows = clicks_by_match_type(sim_result, sim_window)
+        assert [r.match_type for r in rows] == ["exact", "phrase", "broad"]
+        fraud_total = sum(
+            r.fraud_click_share for r in rows if not np.isnan(r.fraud_click_share)
+        )
+        assert fraud_total == pytest.approx(1.0, abs=1e-6)
+
+    def test_above_default_share(self, subsets):
+        share = above_default_share(subsets["NF with clicks"])
+        assert 0.0 <= share <= 1.0
+
+    def test_above_default_empty(self):
+        from repro.analysis.subsets import Subset
+
+        assert np.isnan(above_default_share(Subset("empty", ())))

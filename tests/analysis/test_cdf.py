@@ -1,0 +1,107 @@
+"""Tests for empirical CDF utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.cdf import ecdf, lorenz_curve, quantile, weighted_ecdf
+from repro.errors import AnalysisError
+
+FLOATS = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestEcdf:
+    def test_basic(self):
+        curve = ecdf([3.0, 1.0, 2.0])
+        np.testing.assert_allclose(curve.x, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(curve.y, [1 / 3, 2 / 3, 1.0])
+
+    def test_at(self):
+        curve = ecdf([1.0, 2.0, 3.0])
+        assert curve.at(0.5) == 0.0
+        assert curve.at(1.0) == pytest.approx(1 / 3)
+        assert curve.at(2.5) == pytest.approx(2 / 3)
+        assert curve.at(99.0) == 1.0
+
+    def test_median(self):
+        assert ecdf([1.0, 2.0, 3.0]).median == 2.0
+
+    def test_quantile_bounds(self):
+        curve = ecdf([1.0])
+        with pytest.raises(AnalysisError):
+            curve.quantile(1.5)
+
+    def test_nan_dropped(self):
+        curve = ecdf([1.0, np.nan, 2.0])
+        assert len(curve) == 2
+
+    def test_empty(self):
+        curve = ecdf([])
+        assert len(curve) == 0
+        assert np.isnan(curve.at(1.0))
+        assert np.isnan(curve.median)
+
+    @given(FLOATS)
+    def test_properties(self, values):
+        curve = ecdf(values)
+        # y monotone in (0, 1], x sorted.
+        assert (np.diff(curve.x) >= 0).all()
+        assert (np.diff(curve.y) > 0).all() or len(curve) == 1
+        assert curve.y[-1] == pytest.approx(1.0)
+        # Median is an actual data point.
+        assert curve.median in curve.x
+
+    @given(FLOATS)
+    def test_at_is_fraction_leq(self, values):
+        curve = ecdf(values)
+        probe = values[0]
+        expected = np.mean([v <= probe for v in values])
+        assert curve.at(probe) == pytest.approx(expected)
+
+
+class TestWeightedEcdf:
+    def test_weights_shift_mass(self):
+        curve = weighted_ecdf([1.0, 2.0], [3.0, 1.0])
+        assert curve.at(1.0) == pytest.approx(0.75)
+
+    def test_zero_weights_dropped(self):
+        curve = weighted_ecdf([1.0, 2.0], [0.0, 1.0])
+        assert len(curve) == 1
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(AnalysisError):
+            weighted_ecdf([1.0], [1.0, 2.0])
+
+    def test_reduces_to_unweighted(self):
+        values = [5.0, 1.0, 3.0]
+        uniform = weighted_ecdf(values, [1.0] * 3)
+        plain = ecdf(values)
+        np.testing.assert_allclose(uniform.x, plain.x)
+        np.testing.assert_allclose(uniform.y, plain.y)
+
+
+class TestLorenz:
+    def test_uniform_values_linear(self):
+        proportion, share = lorenz_curve([1.0] * 10)
+        np.testing.assert_allclose(share, proportion)
+
+    def test_concentrated(self):
+        proportion, share = lorenz_curve([100.0] + [1.0] * 99)
+        # First 1% of entities holds ~50% of mass.
+        assert share[0] > 0.5
+
+    def test_needs_positive_mass(self):
+        with pytest.raises(AnalysisError):
+            lorenz_curve([0.0, 0.0])
+
+    def test_monotone(self):
+        _, share = lorenz_curve([5.0, 1.0, 3.0, 0.5])
+        assert (np.diff(share) >= 0).all()
+        assert share[-1] == pytest.approx(1.0)
+
+
+class TestQuantileHelper:
+    def test_quantile(self):
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) in (2.0, 3.0)

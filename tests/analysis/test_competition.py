@@ -1,0 +1,121 @@
+"""Tests for the Section-6 competition analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.competition import (
+    CompetitionAnalyzer,
+    affected_share_distributions,
+    cpc_distributions,
+    ctr_distributions,
+    position_distributions,
+    top_position_probability,
+)
+from repro.analysis.subsets import SubsetBuilder
+from repro.taxonomy.verticals import dubious_vertical_names
+from repro.records.codes import vertical_code
+
+
+@pytest.fixture(scope="module")
+def analyzer(sim_result, sim_window):
+    return CompetitionAnalyzer(sim_result, sim_window)
+
+
+@pytest.fixture(scope="module")
+def subsets(sim_result, sim_window):
+    builder = SubsetBuilder(sim_result, sim_window, target_size=300)
+    return {
+        name: builder.build(name)
+        for name in ("F with clicks", "NF with clicks")
+    }
+
+
+class TestAnalyzer:
+    def test_affected_share_bounds(self, analyzer, subsets):
+        for subset in subsets.values():
+            for account in subset.accounts:
+                share = analyzer.affected_impression_share(account.advertiser_id)
+                assert np.isnan(share) or 0.0 <= share <= 1.0
+
+    def test_unknown_advertiser_nan(self, analyzer):
+        assert np.isnan(analyzer.affected_impression_share(10**9))
+        assert np.isnan(analyzer.ctr(10**9, influenced=False))
+        assert np.isnan(analyzer.cpc(10**9, influenced=True))
+
+    def test_ctr_bounds(self, analyzer, subsets):
+        for account in subsets["NF with clicks"].accounts[:50]:
+            ctr = analyzer.ctr(account.advertiser_id, influenced=False)
+            assert np.isnan(ctr) or 0.0 <= ctr <= 1.0
+
+    def test_organic_plus_influenced_partition(self, analyzer, subsets):
+        """Organic and influenced positions partition all impressions."""
+        ids = subsets["NF with clicks"].ids()
+        organic_pos, organic_w = analyzer.pooled_positions(ids, False)
+        influenced_pos, influenced_w = analyzer.pooled_positions(ids, True)
+        member = np.isin(analyzer._ids, ids)
+        total = analyzer._weight[member].sum()
+        assert organic_w.sum() + influenced_w.sum() == pytest.approx(total)
+
+    def test_dubious_only_filter(self, sim_result, sim_window):
+        dubious = CompetitionAnalyzer(sim_result, sim_window, dubious_only=True)
+        full = CompetitionAnalyzer(sim_result, sim_window)
+        assert len(dubious) <= len(full)
+        codes = {vertical_code(name) for name in dubious_vertical_names()}
+        table = sim_result.impressions.in_window(sim_window.start, sim_window.end)
+        expected = int(np.isin(table.vertical, list(codes)).sum())
+        assert len(dubious) == expected
+
+
+class TestDistributions:
+    def test_affected_distributions(self, analyzer, subsets):
+        shares = affected_share_distributions(analyzer, subsets)
+        assert set(shares.curves) == set(subsets)
+
+    def test_affected_by_spend(self, analyzer, subsets):
+        shares = affected_share_distributions(analyzer, subsets, by="spend")
+        for curve in shares.curves.values():
+            if len(curve):
+                assert (curve.x >= 0).all() and (curve.x <= 1).all()
+
+    def test_position_distributions(self, analyzer, subsets):
+        curves = position_distributions(analyzer, subsets)
+        assert "NF with clicks (organic)" in curves.curves
+        organic = curves.curves["NF with clicks (organic)"]
+        if len(organic):
+            assert organic.x.min() >= 1
+
+    def test_ctr_distributions(self, analyzer, subsets):
+        curves = ctr_distributions(analyzer, subsets)
+        assert "F with clicks (organic)" in curves.curves
+
+    def test_cpc_normalization(self, analyzer, subsets):
+        curves = cpc_distributions(
+            analyzer, subsets, norm_subset=subsets["NF with clicks"]
+        )
+        assert curves.norm > 0
+        organic = curves.curves["NF with clicks (organic)"]
+        if len(organic):
+            # Normalized by its own median: median must be ~1.
+            assert organic.median == pytest.approx(1.0, rel=0.25)
+
+    def test_top_position_probability(self, analyzer, subsets):
+        prob = top_position_probability(
+            analyzer, subsets["NF with clicks"], influenced=False
+        )
+        assert np.isnan(prob) or 0.0 <= prob <= 1.0
+
+
+class TestCompetitionEffects:
+    def test_fraud_more_affected_than_nonfraud(self, analyzer, subsets):
+        f_shares = [
+            analyzer.affected_impression_share(a.advertiser_id)
+            for a in subsets["F with clicks"].accounts
+        ]
+        nf_shares = [
+            analyzer.affected_impression_share(a.advertiser_id)
+            for a in subsets["NF with clicks"].accounts
+        ]
+        f_shares = [s for s in f_shares if not np.isnan(s)]
+        nf_shares = [s for s in nf_shares if not np.isnan(s)]
+        if f_shares and nf_shares:
+            assert np.mean(f_shares) > np.mean(nf_shares)

@@ -1,0 +1,34 @@
+"""Tests for the phishing/impersonation analysis (Section 5.2.2)."""
+
+import numpy as np
+
+from repro.analysis.phishing import phishing_summary
+
+
+class TestPhishing:
+    def test_small_share_of_fraud(self, sim_result):
+        """Phishing is a small slice of fraudulent activity."""
+        stats = phishing_summary(sim_result)
+        assert 0.0 <= stats.phishing_spend_share < 0.3
+
+    def test_shares_bounded(self, sim_result):
+        stats = phishing_summary(sim_result)
+        assert 0.0 <= stats.impersonation_spend_share <= 1.0
+        total = stats.phishing_spend_share + stats.impersonation_spend_share
+        assert total <= 1.0
+
+    def test_phishing_dies_fast(self, sim_result):
+        """Brand blacklisting catches phishing quickly: its median
+        lifetime does not exceed other fraud's by much."""
+        stats = phishing_summary(sim_result)
+        if stats.n_phishing_accounts >= 10 and not np.isnan(
+            stats.phishing_median_lifetime
+        ):
+            assert (
+                stats.phishing_median_lifetime
+                <= 3.0 * stats.other_fraud_median_lifetime + 0.5
+            )
+
+    def test_accounts_counted(self, sim_result):
+        stats = phishing_summary(sim_result)
+        assert stats.n_phishing_accounts >= 0

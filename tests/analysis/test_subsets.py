@@ -1,0 +1,116 @@
+"""Tests for the eleven subset types of Section 3.3."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.subsets import ALL_SUBSETS, SubsetBuilder
+from repro.errors import SubsetError
+
+
+@pytest.fixture(scope="module")
+def builder(sim_result, sim_window):
+    return SubsetBuilder(sim_result, sim_window, target_size=400)
+
+
+class TestBuildAll:
+    def test_all_names_build(self, builder):
+        subsets = builder.build_many()
+        assert set(subsets) == set(ALL_SUBSETS)
+        for subset in subsets.values():
+            assert len(subset) > 0
+
+    def test_unknown_name(self, builder):
+        with pytest.raises(SubsetError):
+            builder.build("F nonsense")
+
+    def test_target_size_respected(self, builder):
+        for name in ("Fraud", "Nonfraud"):
+            assert len(builder.build(name)) <= 400
+
+
+class TestMembership:
+    def test_fraud_subsets_only_fraud(self, builder):
+        for name in ("Fraud", "F with clicks", "F spend weight", "F volume weight"):
+            for account in builder.build(name).accounts:
+                assert account.labeled_fraud
+
+    def test_nonfraud_subsets_only_nonfraud(self, builder):
+        for name in ("Nonfraud", "NF with clicks", "NF spend match", "NF rate match"):
+            for account in builder.build(name).accounts:
+                assert not account.labeled_fraud
+
+    def test_alive_during_window(self, builder, sim_window):
+        for account in builder.build("Fraud").accounts:
+            assert account.alive_during(sim_window.start, sim_window.end)
+
+    def test_with_clicks_requires_clicks(self, builder):
+        for account in builder.build("F with clicks").accounts:
+            assert builder.clicks_of(account) > 0
+
+    def test_weighted_requires_positive_metric(self, builder):
+        for account in builder.build("NF spend weight").accounts:
+            assert builder.spend_of(account) > 0
+
+    def test_no_duplicates(self, builder):
+        for name in ALL_SUBSETS:
+            ids = builder.build(name).ids()
+            assert len(ids) == len(set(ids.tolist()))
+
+
+class TestWeighting:
+    def test_spend_weight_skews_heavy(self, builder):
+        """Spend-weighted sampling concentrates spend mass: the sampled
+        subset holds a larger share of total pool spend than a uniform
+        sample of the same accounts-with-spend pool."""
+        weighted = builder.build("NF spend weight")
+        uniform = builder.build("NF with clicks")
+        w_total = sum(builder.spend_of(a) for a in weighted.accounts)
+        u_total = sum(builder.spend_of(a) for a in uniform.accounts)
+        # Same pool sizes here (both truncated at target), so totals are
+        # directly comparable; weighting must not *lose* spend mass.
+        assert w_total >= 0.8 * u_total
+
+    def test_build_idempotent_and_order_independent(self, builder):
+        first = builder.build("NF spend weight").ids().tolist()
+        builder.build("Fraud")  # interleave other builds
+        builder.build("NF with clicks")
+        second = builder.build("NF spend weight").ids().tolist()
+        assert first == second
+
+
+class TestMatching:
+    def test_spend_match_tracks_reference(self, builder):
+        reference = builder.build("F spend weight")
+        matched = builder.build("NF spend match")
+        assert len(matched) <= len(reference)
+        ref = np.sort([builder.spend_of(a) for a in reference.accounts])
+        got = np.sort([builder.spend_of(a) for a in matched.accounts])
+        # Matched distribution should be far closer to the fraud
+        # reference than a uniform nonfraud sample is.
+        uniform = builder.build("Nonfraud")
+        uni = np.sort(
+            [
+                builder.spend_of(a)
+                for a in uniform.accounts[: len(matched)]
+            ]
+        )
+        n = min(len(ref), len(got), len(uni))
+        if n >= 5:
+            matched_gap = np.median(np.abs(ref[:n] - got[:n]))
+            uniform_gap = np.median(np.abs(ref[:n] - uni[:n]))
+            assert matched_gap <= uniform_gap + 1e-9
+
+    def test_rate_match_uses_rates(self, builder, sim_window):
+        matched = builder.build("NF rate match")
+        assert all(not a.labeled_fraud for a in matched.accounts)
+        # rate_of never negative; matched accounts should mostly have
+        # comparable (positive) rates.
+        rates = [builder.rate_of(a) for a in matched.accounts]
+        assert all(r >= 0 for r in rates)
+
+
+class TestDeterminism:
+    def test_same_builder_inputs_same_subsets(self, sim_result, sim_window):
+        a = SubsetBuilder(sim_result, sim_window, target_size=100)
+        b = SubsetBuilder(sim_result, sim_window, target_size=100)
+        assert a.build("Fraud").ids().tolist() == b.build("Fraud").ids().tolist()

@@ -1,0 +1,161 @@
+"""Tests for the GSP auction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.auction import Candidate, run_auction
+from repro.config import AuctionConfig
+from repro.entities.enums import MatchType
+
+
+def make_candidate(advertiser_id=1, ad_id=None, bid=1.0, quality=0.1, fraud=False):
+    return Candidate(
+        advertiser_id=advertiser_id,
+        ad_id=ad_id if ad_id is not None else advertiser_id * 10,
+        match_type=MatchType.EXACT,
+        max_bid=bid,
+        quality=quality,
+        fraud_labeled=fraud,
+    )
+
+
+CONFIG = AuctionConfig(
+    mainline_slots=2,
+    sidebar_slots=3,
+    mainline_reserve=0.1,
+    reserve_score=0.01,
+    default_max_bid=0.5,
+    price_increment=0.01,
+)
+
+
+class TestRanking:
+    def test_rank_by_bid_times_quality(self):
+        low_bid_high_quality = make_candidate(1, bid=1.0, quality=0.3)
+        high_bid_low_quality = make_candidate(2, bid=2.0, quality=0.1)
+        outcome = run_auction([high_bid_low_quality, low_bid_high_quality], CONFIG)
+        assert outcome.shown[0].candidate.advertiser_id == 1
+
+    def test_empty(self):
+        assert run_auction([], CONFIG).n_shown == 0
+
+    def test_positions_sequential(self):
+        candidates = [make_candidate(i, bid=2.0 - 0.1 * i) for i in range(1, 5)]
+        outcome = run_auction(candidates, CONFIG)
+        assert [ad.position for ad in outcome.shown] == list(
+            range(1, outcome.n_shown + 1)
+        )
+
+    def test_deterministic_tie_break(self):
+        a = make_candidate(1, bid=1.0)
+        b = make_candidate(2, bid=1.0)
+        first = run_auction([a, b], CONFIG)
+        second = run_auction([b, a], CONFIG)
+        assert [s.candidate.advertiser_id for s in first.shown] == [
+            s.candidate.advertiser_id for s in second.shown
+        ]
+
+    def test_per_advertiser_cap(self):
+        candidates = [
+            make_candidate(1, ad_id=1, bid=2.0),
+            make_candidate(1, ad_id=2, bid=1.9),
+            make_candidate(2, ad_id=3, bid=1.0),
+        ]
+        outcome = run_auction(candidates, CONFIG)
+        ids = [s.candidate.advertiser_id for s in outcome.shown]
+        assert ids.count(1) == 1
+        assert 2 in ids
+
+
+class TestReserves:
+    def test_below_reserve_hidden(self):
+        outcome = run_auction([make_candidate(1, bid=0.05, quality=0.1)], CONFIG)
+        assert outcome.n_shown == 0
+
+    def test_mainline_promotion_requires_reserve(self):
+        weak = make_candidate(1, bid=0.5, quality=0.1)  # rank 0.05 < 0.1
+        outcome = run_auction([weak], CONFIG)
+        assert outcome.n_shown == 1
+        assert not outcome.shown[0].mainline
+
+    def test_slot_limits(self):
+        candidates = [make_candidate(i, bid=5.0) for i in range(1, 20)]
+        outcome = run_auction(candidates, CONFIG)
+        assert outcome.n_shown == CONFIG.total_slots
+        mainline = [s for s in outcome.shown if s.mainline]
+        assert len(mainline) == CONFIG.mainline_slots
+
+
+class TestPricing:
+    def test_second_price_below_bid(self):
+        candidates = [
+            make_candidate(1, bid=2.0, quality=0.2),
+            make_candidate(2, bid=1.0, quality=0.2),
+        ]
+        outcome = run_auction(candidates, CONFIG)
+        winner = outcome.shown[0]
+        # Pays next rank / own quality + increment = 0.2/0.2 + 0.01.
+        assert winner.price_per_click == pytest.approx(1.01)
+        assert winner.price_per_click <= winner.candidate.max_bid
+
+    def test_last_ad_pays_reserve_floor(self):
+        outcome = run_auction([make_candidate(1, bid=2.0, quality=0.2)], CONFIG)
+        only = outcome.shown[0]
+        assert only.price_per_click == pytest.approx(0.01 / 0.2 + 0.01)
+
+    def test_price_capped_at_max_bid(self):
+        candidates = [
+            make_candidate(1, bid=1.0, quality=0.2),
+            make_candidate(2, bid=0.99, quality=0.2),
+        ]
+        outcome = run_auction(candidates, CONFIG)
+        assert outcome.shown[0].price_per_click <= 1.0
+
+    def test_fraud_count(self):
+        candidates = [
+            make_candidate(1, bid=2.0, fraud=True),
+            make_candidate(2, bid=1.5, fraud=False),
+            make_candidate(3, bid=1.2, fraud=True),
+        ]
+        outcome = run_auction(candidates, CONFIG)
+        assert outcome.n_fraud_labeled() == 2
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 50),
+                st.floats(0.05, 50.0),
+                st.floats(0.001, 1.0),
+            ),
+            max_size=30,
+        )
+    )
+    def test_invariants(self, raw):
+        candidates = [
+            make_candidate(adv_id, ad_id=i, bid=bid, quality=quality)
+            for i, (adv_id, bid, quality) in enumerate(raw)
+        ]
+        outcome = run_auction(candidates, CONFIG)
+        # No more ads than slots; positions strictly increasing.
+        assert outcome.n_shown <= CONFIG.total_slots
+        ranks = [s.candidate.rank_score for s in outcome.shown]
+        assert all(a >= b for a, b in zip(ranks, ranks[1:]))
+        for shown in outcome.shown:
+            assert shown.price_per_click <= shown.candidate.max_bid + 1e-9
+            assert shown.price_per_click > 0
+            assert shown.candidate.rank_score >= CONFIG.reserve_score
+        # Per-advertiser cap respected.
+        ids = [s.candidate.advertiser_id for s in outcome.shown]
+        assert all(ids.count(i) <= CONFIG.per_advertiser_cap for i in set(ids))
+
+
+class TestCandidateValidation:
+    def test_bad_bid(self):
+        with pytest.raises(ValueError):
+            make_candidate(bid=0.0)
+
+    def test_bad_quality(self):
+        with pytest.raises(ValueError):
+            make_candidate(quality=0.0)

@@ -1,0 +1,48 @@
+"""Property-based tests for GSP pricing invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.auction.gsp import Candidate
+from repro.auction.pricing import gsp_price
+from repro.config import AuctionConfig
+from repro.entities.enums import MatchType
+
+CONFIG = AuctionConfig()
+
+BIDS = st.floats(0.05, 100.0)
+QUALITIES = st.floats(0.001, 2.0)
+
+
+def candidate(bid: float, quality: float) -> Candidate:
+    return Candidate(1, 1, MatchType.EXACT, bid, quality)
+
+
+class TestGspPriceProperties:
+    @given(BIDS, QUALITIES, st.floats(0.0, 50.0))
+    def test_price_never_exceeds_bid(self, bid, quality, next_score):
+        price = gsp_price(candidate(bid, quality), next_score, CONFIG)
+        assert price <= bid + 1e-12
+
+    @given(BIDS, QUALITIES)
+    def test_price_positive(self, bid, quality):
+        assert gsp_price(candidate(bid, quality), None, CONFIG) > 0
+
+    @given(BIDS, QUALITIES, st.floats(0.0, 10.0), st.floats(0.0, 10.0))
+    def test_price_monotone_in_next_score(self, bid, quality, a, b):
+        low, high = sorted((a, b))
+        c = candidate(bid, quality)
+        assert gsp_price(c, low, CONFIG) <= gsp_price(c, high, CONFIG) + 1e-12
+
+    @given(BIDS, QUALITIES)
+    def test_no_competitor_means_floor(self, bid, quality):
+        c = candidate(bid, quality)
+        floor = CONFIG.reserve_score / quality + CONFIG.price_increment
+        assert gsp_price(c, None, CONFIG) == min(floor, bid)
+
+    @given(BIDS, st.floats(0.01, 2.0), st.floats(0.01, 2.0), st.floats(0.0, 10.0))
+    def test_higher_quality_pays_less(self, bid, q1, q2, next_score):
+        """For a fixed competitor score, better quality means a lower price."""
+        low_q, high_q = sorted((q1, q2))
+        price_low = gsp_price(candidate(bid, low_q), next_score, CONFIG)
+        price_high = gsp_price(candidate(bid, high_q), next_score, CONFIG)
+        assert price_high <= price_low + 1e-9

@@ -1,0 +1,69 @@
+"""Tests for quality scores and page layout."""
+
+import pytest
+
+from repro.auction.quality import MATCH_RELEVANCE, quality_score
+from repro.auction.slots import layout
+from repro.config import AuctionConfig
+from repro.entities.enums import MatchType
+
+CONFIG = AuctionConfig(
+    mainline_slots=2,
+    sidebar_slots=2,
+    mainline_reserve=0.5,
+    reserve_score=0.1,
+)
+
+
+class TestQuality:
+    def test_relevance_ordering(self):
+        assert (
+            MATCH_RELEVANCE[MatchType.EXACT]
+            > MATCH_RELEVANCE[MatchType.PHRASE]
+            > MATCH_RELEVANCE[MatchType.BROAD]
+        )
+
+    def test_exact_beats_broad(self):
+        exact = quality_score(1.0, 1.0, 0.05, MatchType.EXACT)
+        broad = quality_score(1.0, 1.0, 0.05, MatchType.BROAD)
+        assert exact > broad
+
+    def test_components_multiply(self):
+        assert quality_score(2.0, 3.0, 0.05, MatchType.EXACT) == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quality_score(0.0, 1.0, 0.05, MatchType.EXACT)
+        with pytest.raises(ValueError):
+            quality_score(1.0, 1.0, -0.05, MatchType.EXACT)
+
+
+class TestLayout:
+    def test_empty(self):
+        assert layout([], CONFIG) == []
+
+    def test_all_below_reserve(self):
+        assert layout([0.05, 0.01], CONFIG) == []
+
+    def test_stops_at_first_below_reserve(self):
+        placements = layout([1.0, 0.05, 0.9], CONFIG)
+        # The list is ranked; a sub-reserve score ends the page.
+        assert len(placements) == 1
+
+    def test_mainline_then_sidebar(self):
+        placements = layout([1.0, 0.9, 0.8, 0.7], CONFIG)
+        assert [p.mainline for p in placements] == [True, True, False, False]
+        assert [p.position for p in placements] == [1, 2, 3, 4]
+
+    def test_weak_leader_goes_sidebar(self):
+        placements = layout([0.3, 0.2], CONFIG)
+        assert all(not p.mainline for p in placements)
+
+    def test_dynamic_mainline_size(self):
+        # Only one ad clears the mainline reserve: mainline has 1 ad.
+        placements = layout([0.9, 0.3, 0.2], CONFIG)
+        assert [p.mainline for p in placements] == [True, False, False]
+
+    def test_capacity_limit(self):
+        placements = layout([1.0] * 10, CONFIG)
+        assert len(placements) == CONFIG.total_slots

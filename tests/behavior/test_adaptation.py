@@ -1,0 +1,42 @@
+"""Tests for fraudster adaptation to policy bans."""
+
+import numpy as np
+
+from repro.behavior.fraudulent import sample_fraud_profile
+from repro.config import default_config
+
+CONFIG = default_config()
+
+
+class TestBannedVerticalAvoidance:
+    def _verticals(self, banned, n=300, seed=17):
+        rng = np.random.Generator(np.random.PCG64(seed))
+        out = []
+        for _ in range(n):
+            profile = sample_fraud_profile(
+                CONFIG, rng, prolific=False, banned_verticals=banned
+            )
+            out.extend(profile.verticals)
+        return out
+
+    def test_banned_vertical_avoided(self):
+        verticals = self._verticals(banned=("techsupport",))
+        assert "techsupport" not in verticals
+
+    def test_no_ban_keeps_vertical(self):
+        verticals = self._verticals(banned=())
+        assert "techsupport" in verticals
+
+    def test_prolific_also_adapts(self):
+        rng = np.random.Generator(np.random.PCG64(19))
+        for _ in range(200):
+            profile = sample_fraud_profile(
+                CONFIG, rng, prolific=True, banned_verticals=("techsupport",)
+            )
+            assert "techsupport" not in profile.verticals
+
+    def test_other_weights_renormalized(self):
+        verticals = self._verticals(banned=("techsupport",))
+        # Remaining dubious verticals still sampled.
+        assert "downloads" in verticals
+        assert "weightloss" in verticals

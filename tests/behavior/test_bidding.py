@@ -1,0 +1,100 @@
+"""Tests for bidding-style sampling."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.bidding import (
+    BidLevels,
+    MatchMix,
+    sample_bid_levels,
+    sample_match_mix,
+)
+from repro.config import AuctionConfig
+from repro.entities.enums import AdvertiserKind, MatchType
+
+AUCTION = AuctionConfig()
+
+
+class TestMatchMix:
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            MatchMix(0.5, 0.2, 0.2)
+
+    def test_no_negative(self):
+        with pytest.raises(ValueError):
+            MatchMix(-0.1, 0.6, 0.5)
+
+    def test_as_probs(self):
+        mix = MatchMix(0.2, 0.5, 0.3)
+        types, probs = mix.as_probs()
+        assert types == [MatchType.EXACT, MatchType.PHRASE, MatchType.BROAD]
+        assert probs.sum() == pytest.approx(1.0)
+
+    def _sample_many(self, kind, n=800, seed=3):
+        rng = np.random.Generator(np.random.PCG64(seed))
+        return [sample_match_mix(kind, rng) for _ in range(n)]
+
+    def test_zero_exact_inflation_bands(self):
+        """Mix-level zero-exact rates sit below the paper's account-level
+        60%/50%: fraud accounts hold few bids, so sampling zeros push the
+        *effective* rates up to the paper's numbers (asserted in
+        tests/integration/test_paper_claims.py)."""
+        fraud = self._sample_many(AdvertiserKind.FRAUD_TYPICAL)
+        legit = self._sample_many(AdvertiserKind.LEGITIMATE)
+        fraud_no_exact = np.mean([m.exact == 0 for m in fraud])
+        legit_no_exact = np.mean([m.exact == 0 for m in legit])
+        assert 0.35 < fraud_no_exact < 0.60
+        assert 0.40 < legit_no_exact < 0.60
+
+    def test_fraud_skews_to_phrase(self):
+        fraud = self._sample_many(AdvertiserKind.FRAUD_TYPICAL)
+        legit = self._sample_many(AdvertiserKind.LEGITIMATE)
+        assert np.median([m.phrase for m in fraud]) > np.median(
+            [m.phrase for m in legit]
+        )
+
+    def test_legit_broad_usage_low(self):
+        legit = self._sample_many(AdvertiserKind.LEGITIMATE)
+        assert np.mean([m.broad for m in legit]) < 0.15
+
+    def test_mixes_valid(self):
+        for mix in self._sample_many(AdvertiserKind.FRAUD_PROLIFIC, n=100):
+            assert mix.exact + mix.phrase + mix.broad == pytest.approx(1.0)
+
+
+class TestBidLevels:
+    def _sample_many(self, kind, value=1.0, n=800, seed=4):
+        rng = np.random.Generator(np.random.PCG64(seed))
+        return [sample_bid_levels(kind, value, rng, AUCTION) for _ in range(n)]
+
+    def test_median_is_default(self):
+        # Paper: the median maximum bid equals the platform default for
+        # both populations.
+        for kind in (AdvertiserKind.LEGITIMATE, AdvertiserKind.FRAUD_TYPICAL):
+            levels = self._sample_many(kind)
+            assert np.median([l.exact for l in levels]) == pytest.approx(1.0)
+
+    def test_fraud_customizes_less(self):
+        fraud = self._sample_many(AdvertiserKind.FRAUD_TYPICAL)
+        legit = self._sample_many(AdvertiserKind.LEGITIMATE)
+        fraud_default = np.mean([l.exact == 1.0 for l in fraud])
+        legit_default = np.mean([l.exact == 1.0 for l in legit])
+        assert fraud_default > legit_default
+
+    def test_value_scales_bids(self):
+        cheap = self._sample_many(AdvertiserKind.LEGITIMATE, value=0.5)
+        expensive = self._sample_many(AdvertiserKind.LEGITIMATE, value=24.0)
+        assert np.mean([l.exact for l in expensive]) > np.mean(
+            [l.exact for l in cheap]
+        )
+
+    def test_multiplier_lookup(self):
+        levels = BidLevels(1.0, 2.0, 3.0)
+        assert levels.multiplier(MatchType.EXACT) == 1.0
+        assert levels.multiplier(MatchType.PHRASE) == 2.0
+        assert levels.multiplier(MatchType.BROAD) == 3.0
+
+    def test_invalid_value_rejected(self):
+        rng = np.random.Generator(np.random.PCG64(0))
+        with pytest.raises(ValueError):
+            sample_bid_levels(AdvertiserKind.LEGITIMATE, 0.0, rng, AUCTION)

@@ -1,0 +1,31 @@
+"""Shared fixtures: one small simulation reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import small_config, run_simulation
+from repro.timeline import Window
+
+
+@pytest.fixture(scope="session")
+def sim_config():
+    return small_config(seed=7, days=120)
+
+
+@pytest.fixture(scope="session")
+def sim_result(sim_config):
+    """A 120-day small-scale simulation shared by the whole suite."""
+    return run_simulation(sim_config)
+
+
+@pytest.fixture(scope="session")
+def sim_window():
+    """A window covering the simulation's settled middle."""
+    return Window(30.0, 120.0, "test window")
+
+
+@pytest.fixture()
+def rng():
+    return np.random.Generator(np.random.PCG64(12345))

@@ -1,0 +1,88 @@
+"""Tests for ads, campaigns, keyword bids and domain generation."""
+
+import numpy as np
+import pytest
+
+from repro.entities import (
+    Ad,
+    Campaign,
+    KeywordBid,
+    MatchType,
+    sample_domain_count,
+    shared_domains,
+    unique_domain,
+)
+from repro.taxonomy.adcopy import AdCopy
+
+
+class TestKeywordBid:
+    def test_phrase(self):
+        bid = KeywordBid(("weight", "loss"), MatchType.BROAD, 0.5, 1.0)
+        assert bid.phrase == "weight loss"
+
+    def test_empty_keyword_rejected(self):
+        with pytest.raises(ValueError):
+            KeywordBid((), MatchType.EXACT, 0.5, 1.0)
+
+    def test_nonpositive_bid_rejected(self):
+        with pytest.raises(ValueError):
+            KeywordBid(("a",), MatchType.EXACT, 0.0, 1.0)
+
+    def test_modification_counter(self):
+        bid = KeywordBid(("a",), MatchType.EXACT, 0.5, 1.0)
+        bid.record_modification()
+        bid.record_modification()
+        assert bid.modified_count == 2
+
+
+class TestAdAndCampaign:
+    def _ad(self, campaign_id=1):
+        return Ad(
+            ad_id=1,
+            campaign_id=campaign_id,
+            copy=AdCopy("t", "b"),
+            display_domain="x.com",
+            destination_domain="x.com",
+            created_day=0.0,
+        )
+
+    def test_campaign_rejects_foreign_ad(self):
+        campaign = Campaign(2, 1, "downloads", "US", 0.0)
+        with pytest.raises(ValueError):
+            campaign.add_ad(self._ad(campaign_id=1))
+
+    def test_campaign_accepts_own_ad(self):
+        campaign = Campaign(1, 1, "downloads", "US", 0.0)
+        campaign.add_ad(self._ad(campaign_id=1))
+        assert len(campaign.ads) == 1
+
+    def test_ad_engagement_validation(self):
+        with pytest.raises(ValueError):
+            Ad(1, 1, AdCopy("t", "b"), "x.com", "x.com", 0.0, engagement=0.0)
+
+
+class TestDomains:
+    def test_unique_domains_mostly_unique(self, rng):
+        domains = {unique_domain(rng) for _ in range(200)}
+        assert len(domains) > 190
+
+    def test_shared_domains_stable(self):
+        assert "lnk.ly" in shared_domains()
+        assert "bountymax.com" in shared_domains()
+
+    def test_single_ad_single_domain(self, rng):
+        assert sample_domain_count(rng, 1, is_fraud=True) == 1
+        assert sample_domain_count(rng, 1, is_fraud=False) == 1
+
+    def test_fraud_domain_distribution(self, rng):
+        counts = np.asarray(
+            [sample_domain_count(rng, 30, is_fraud=True) for _ in range(2000)]
+        )
+        # Section 5.2.4: multi-ad accounts average ~3 domains, p90 large.
+        assert 1.5 < counts.mean() < 5.0
+        assert np.percentile(counts, 90) >= 3
+        assert counts.max() <= 30
+
+    def test_legit_rarely_rotates(self, rng):
+        counts = [sample_domain_count(rng, 30, is_fraud=False) for _ in range(500)]
+        assert np.mean(counts) < 1.5

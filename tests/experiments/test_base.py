@@ -1,0 +1,60 @@
+"""Unit tests for experiment plumbing (Chart, Table, ExperimentOutput)."""
+
+import numpy as np
+
+from repro.analysis.cdf import ecdf
+from repro.experiments.base import Chart, ExperimentOutput, Table
+
+
+class TestChart:
+    def test_series_chart_renders(self):
+        chart = Chart(
+            title="t",
+            series={"a": (np.array([0.0, 1.0]), np.array([0.0, 1.0]))},
+        )
+        assert "t" in chart.render()
+
+    def test_cdf_chart_renders(self):
+        chart = Chart(title="cdf", cdfs={"a": ecdf([1.0, 2.0])})
+        assert "cdf" in chart.render()
+
+    def test_as_series_from_cdfs(self):
+        chart = Chart(title="c", cdfs={"a": ecdf([1.0, 2.0, 3.0])})
+        series = chart.as_series()
+        assert "a" in series
+        x, y = series["a"]
+        assert len(x) == 3
+
+    def test_as_series_passthrough(self):
+        data = {"a": (np.array([1.0]), np.array([2.0]))}
+        chart = Chart(title="c", series=data)
+        assert chart.as_series() == data
+
+
+class TestTable:
+    def test_render(self):
+        table = Table(title="T", headers=["a", "b"], rows=[["x", 1.0]])
+        text = table.render()
+        assert "T" in text and "x" in text
+
+
+class TestExperimentOutput:
+    def test_render_combines_everything(self):
+        output = ExperimentOutput(
+            experiment_id="figX",
+            title="Example",
+            charts=[Chart(title="chart", cdfs={"a": ecdf([1.0])})],
+            tables=[Table(title="table", headers=["h"], rows=[["v"]])],
+            notes=["a note"],
+            metrics={"m": 1.234},
+        )
+        text = output.render()
+        assert "figX" in text
+        assert "chart" in text
+        assert "table" in text
+        assert "note: a note" in text
+        assert "m=1.234" in text
+
+    def test_empty_output_renders(self):
+        output = ExperimentOutput(experiment_id="figY", title="Empty")
+        assert "figY" in output.render()

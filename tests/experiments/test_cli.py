@@ -1,0 +1,40 @@
+"""Tests for the experiments command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_single_experiment_small(self, capsys):
+        assert main(["tab2", "--small"]) == 0
+        captured = capsys.readouterr()
+        assert "tab2" in captured.out
+        assert "techsupport" in captured.out
+
+    def test_export(self, tmp_path, capsys):
+        assert main(["fig1", "--small", "--export", str(tmp_path)]) == 0
+        exported = list(tmp_path.glob("fig1_chart*.csv"))
+        assert exported
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99", "--small"])
+
+    def test_dedupes_requests(self, capsys):
+        assert main(["tab2", "tab2", "--small"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("=== tab2") == 1
+
+    def test_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "tab2", "--small"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0
+        assert "tab2" in result.stdout

@@ -1,0 +1,97 @@
+"""Tests for the experiment harness: every figure/table must run."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentContext,
+    experiment_ids,
+    run_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def context(sim_config, sim_result):
+    return ExperimentContext(sim_config, result=sim_result, subset_target=300)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = set(experiment_ids())
+        expected = {f"fig{i}" for i in range(1, 18)} | {
+            "tab1",
+            "tab2",
+            "tab3",
+            "tab4",
+        }
+        assert ids == expected
+
+    def test_unknown_experiment(self, context):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99", context)
+
+    def test_titles_nonempty(self):
+        for title, _ in EXPERIMENTS.values():
+            assert title
+
+
+@pytest.mark.parametrize("experiment_id", sorted(
+    {f"fig{i}" for i in range(1, 18)} | {"tab1", "tab2", "tab3", "tab4"}
+))
+class TestEveryExperimentRuns:
+    def test_runs_and_renders(self, context, experiment_id):
+        output = run_experiment(experiment_id, context)
+        assert output.experiment_id == experiment_id
+        assert output.charts or output.tables
+        text = output.render()
+        assert experiment_id in text
+        # Every experiment documents its paper target.
+        assert output.notes
+
+
+class TestSpecificOutputs:
+    def test_fig1_metrics(self, context):
+        output = run_experiment("fig1", context)
+        assert 0.2 < output.metrics["mean_share_first_half"] < 0.7
+
+    def test_fig2_preads(self, context):
+        output = run_experiment("fig2", context)
+        assert 0.15 < output.metrics["pre_ad_shutdown_share"] < 0.55
+
+    def test_tab2_rows(self, context):
+        output = run_experiment("tab2", context)
+        assert output.metrics["n_categories"] == 5.0
+        rendered = output.tables[0].render()
+        assert "techsupport" in rendered
+
+    def test_tab4_shares(self, context):
+        output = run_experiment("tab4", context)
+        total = (
+            output.metrics["fraud_exact_share"]
+            + output.metrics["fraud_phrase_share"]
+        )
+        assert 0.0 <= total <= 1.0
+
+    def test_chart_export_series(self, context):
+        output = run_experiment("fig5", context)
+        series = output.charts[0].as_series()
+        assert series
+        for x, y in series.values():
+            assert len(x) == len(y)
+
+
+class TestContext:
+    def test_simulation_shared(self, context):
+        assert context.result is context.result
+
+    def test_subset_builder_cached(self, context):
+        assert context.subsets() is context.subsets()
+
+    def test_analyzer_cached(self, context):
+        assert context.analyzer() is context.analyzer()
+        assert context.analyzer(dubious_only=True) is not context.analyzer()
+
+    def test_primary_window_fits_short_runs(self, context):
+        window = context.primary_window()
+        assert window.end <= context.config.days

@@ -1,0 +1,172 @@
+"""Integration tests: the paper's qualitative claims must hold on a
+small simulation.
+
+These are shape checks, not absolute-number checks: the substrate is a
+synthetic marketplace, so we assert orderings, rough factors and regime
+changes -- the properties the paper's figures and tables communicate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CompetitionAnalyzer,
+    SubsetBuilder,
+    fraud_registration_share,
+    fraud_lifetimes,
+    impression_rates,
+    preads_shutdown_share,
+    top_share,
+)
+from repro.analysis.aggregates import aggregate_by_advertiser
+
+
+@pytest.fixture(scope="module")
+def subsets(sim_result, sim_window):
+    return SubsetBuilder(sim_result, sim_window, target_size=400).build_many()
+
+
+class TestSection4Scale:
+    def test_fraud_registration_share_large(self, sim_result):
+        """Sec 4.1: more than a third of registrations are fraudulent."""
+        series = fraud_registration_share(sim_result)
+        populated = series.fraud_share[series.registrations > 10]
+        assert populated.mean() > 0.30
+
+    def test_preads_shutdowns_about_a_third(self, sim_result):
+        """Sec 4.1: 35% of shutdowns happen before a single ad shows."""
+        assert 0.2 < preads_shutdown_share(sim_result) < 0.5
+
+    def test_median_fraud_lifetime_under_a_day(self, sim_result):
+        """Sec 4.1: the median fraud account survives <1 day."""
+        curve = fraud_lifetimes(sim_result)["Year 1 (account)"]
+        assert curve.median < 1.5
+
+    def test_fraud_small_share_of_marketplace(self, sim_result):
+        """Sec 6: well less than ~5% of impressions involve fraud."""
+        table = sim_result.impressions
+        fraud_weight = table.weight[table.fraud_labeled].sum()
+        assert fraud_weight / table.weight.sum() < 0.08
+
+    def test_fraud_clicks_concentrated(self, sim_result, sim_window):
+        """Sec 4.2: top 10% of fraud advertisers take most clicks."""
+        window_table = sim_result.impressions.in_window(
+            sim_window.start, sim_window.end
+        )
+        agg = aggregate_by_advertiser(window_table, window_table.fraud_labeled)
+        if len(agg) >= 10 and agg.clicks.sum() > 0:
+            assert top_share(agg.clicks, 0.1) > 0.4
+
+
+class TestSection5Behavior:
+    def test_fraud_rates_faster(self, sim_result, sim_window):
+        """Sec 5.1 / Figure 5: fraud impression rates exceed non-fraud."""
+        rates = impression_rates(sim_result, sim_window)
+        assert rates.fraud.median > 1.5 * rates.nonfraud.median
+
+    def test_fraud_footprint_order_of_magnitude_smaller(self, subsets):
+        """Sec 5.2 / Figure 7: fraud keeps far fewer ads and keywords."""
+        fraud_kws = np.median(
+            [a.n_keywords for a in subsets["F with clicks"].accounts]
+        )
+        nonfraud_kws = np.median(
+            [a.n_keywords for a in subsets["NF with clicks"].accounts]
+        )
+        assert nonfraud_kws > 5 * max(fraud_kws, 1)
+
+    def test_fraud_skews_away_from_exact(self, subsets):
+        """Sec 5.3: "60% of fraudulent advertisers do not have even a
+        single exact bid (compared to about 50% of legitimate
+        advertisers)"."""
+        def zero_exact_share(subset):
+            eligible = [
+                a for a in subset.accounts if a.bid_count_by_match.sum() > 0
+            ]
+            if not eligible:
+                return np.nan
+            return np.mean(
+                [a.bid_count_by_match[0] == 0 for a in eligible]
+            )
+
+        fraud_zero = zero_exact_share(subsets["Fraud"])
+        nonfraud_zero = zero_exact_share(subsets["Nonfraud"])
+        assert fraud_zero > nonfraud_zero
+        assert 0.45 < fraud_zero < 0.75
+        assert 0.35 < nonfraud_zero < 0.65
+
+    def test_fraud_phrase_heavier(self, subsets):
+        """Sec 5.3: the median fraudulent advertiser leans on phrase
+        matching far more than legitimate advertisers do."""
+        def phrase_share(subset):
+            shares = []
+            for account in subset.accounts:
+                total = account.bid_count_by_match.sum()
+                if total > 0:
+                    shares.append(account.bid_count_by_match[1] / total)
+            return np.median(shares) if shares else np.nan
+
+        assert phrase_share(subsets["Fraud"]) > phrase_share(
+            subsets["Nonfraud"]
+        )
+
+    def test_fraud_only_in_dubious_verticals(self, sim_result):
+        """Sec 5.2.1: fraud occupies the dubious verticals."""
+        from repro.taxonomy.verticals import vertical
+
+        for account in sim_result.fraud_accounts():
+            if account.is_fraud_ground_truth:
+                assert all(vertical(v).dubious for v in account.verticals)
+
+    def test_us_dominates_fraud_registrations(self, subsets):
+        """Table 1: the US is the top fraud registration country."""
+        countries = [a.country for a in subsets["Fraud"].accounts]
+        values, counts = np.unique(countries, return_counts=True)
+        assert values[np.argmax(counts)] == "US"
+
+
+class TestSection6Competition:
+    def test_fraud_competes_with_fraud_more(self, sim_result, sim_window, subsets):
+        """Figure 10: fraud advertisers face far more fraud competition."""
+        analyzer = CompetitionAnalyzer(sim_result, sim_window)
+        f_shares = [
+            analyzer.affected_impression_share(a.advertiser_id)
+            for a in subsets["F with clicks"].accounts
+        ]
+        nf_shares = [
+            analyzer.affected_impression_share(a.advertiser_id)
+            for a in subsets["NF with clicks"].accounts
+        ]
+        f_shares = [s for s in f_shares if not np.isnan(s)]
+        nf_shares = [s for s in nf_shares if not np.isnan(s)]
+        assert np.mean(f_shares) > 3 * max(np.mean(nf_shares), 0.01)
+
+    def test_nonfraud_mostly_unaffected(self, sim_result, sim_window, subsets):
+        """Figure 10: the median legitimate advertiser sees ~no fraud."""
+        analyzer = CompetitionAnalyzer(sim_result, sim_window)
+        shares = [
+            analyzer.affected_impression_share(a.advertiser_id)
+            for a in subsets["NF with clicks"].accounts
+        ]
+        shares = [s for s in shares if not np.isnan(s)]
+        assert np.median(shares) < 0.1
+
+
+class TestPolicyIntervention:
+    def test_techsupport_ban_collapses_vertical(self):
+        """Figure 8: the tech-support ban is the dominant regime change.
+
+        Run two short simulations around a mid-run ban and compare the
+        vertical's spend before and after.
+        """
+        from repro import run_simulation, small_config
+        from repro.analysis.verticals import vertical_spend_by_month
+
+        config = small_config(seed=31, days=180)
+        config = config.with_detection(techsupport_ban_day=90.0)
+        result = run_simulation(config)
+        series = vertical_spend_by_month(result).series["techsupport"]
+        # Months 0-2 pre-ban vs months 4-5 post-ban.
+        before = series[:3].sum()
+        after = series[4:6].sum()
+        if before > 0:
+            assert after < 0.5 * before

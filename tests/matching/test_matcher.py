@@ -1,0 +1,81 @@
+"""Tests for exact/phrase/broad match semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.entities.enums import MatchType
+from repro.matching.matcher import broad_match, exact_match, matches, phrase_match
+
+WORDS = st.sampled_from(
+    ["weight", "loss", "cheap", "flight", "printer", "support", "download", "best"]
+)
+PHRASES = st.lists(WORDS, min_size=1, max_size=4).map(tuple)
+
+
+class TestExact:
+    def test_identity(self):
+        assert exact_match(("weight", "loss"), ("weight", "loss"))
+
+    def test_extra_word_fails(self):
+        assert not exact_match(("weight", "loss"), ("weight", "loss", "fast"))
+
+    def test_reorder_fails(self):
+        assert not exact_match(("weight", "loss"), ("loss", "weight"))
+
+    def test_normalization_applies(self):
+        assert exact_match(("Weight", "Loss"), ("weight", "losses"))
+
+
+class TestPhrase:
+    def test_in_order_with_extras(self):
+        assert phrase_match(("weight", "loss"), ("best", "weight", "loss", "fast"))
+
+    def test_non_contiguous_fails(self):
+        assert not phrase_match(("weight", "loss"), ("weight", "fast", "loss"))
+
+    def test_reorder_fails(self):
+        assert not phrase_match(("weight", "loss"), ("loss", "weight"))
+
+    def test_longer_keyword_than_query_fails(self):
+        assert not phrase_match(("a", "b", "c"), ("a", "b"))
+
+
+class TestBroad:
+    def test_any_order(self):
+        assert broad_match(("weight", "loss"), ("loss", "fast", "weight"))
+
+    def test_synonym_matches(self):
+        # 'cheap' expands to 'discount'.
+        assert broad_match(("cheap", "flight"), ("discount", "flight", "deals"))
+
+    def test_missing_token_fails(self):
+        assert not broad_match(("weight", "loss"), ("weight", "fast"))
+
+    def test_empty_query_fails(self):
+        assert not broad_match(("weight",), ())
+
+
+class TestHierarchy:
+    """Exact implies phrase implies broad (with identical vocabularies)."""
+
+    @given(PHRASES, PHRASES)
+    def test_exact_implies_phrase(self, keyword, query):
+        if exact_match(keyword, query):
+            assert phrase_match(keyword, query)
+
+    @given(PHRASES, PHRASES)
+    def test_phrase_implies_broad(self, keyword, query):
+        if phrase_match(keyword, query):
+            assert broad_match(keyword, query)
+
+    @given(PHRASES)
+    def test_self_match_all_types(self, phrase):
+        for match_type in MatchType:
+            assert matches(phrase, match_type, phrase)
+
+
+class TestDispatch:
+    def test_matches_routes_by_type(self):
+        kw, query = ("weight", "loss"), ("best", "weight", "loss")
+        assert not matches(kw, MatchType.EXACT, query)
+        assert matches(kw, MatchType.PHRASE, query)
+        assert matches(kw, MatchType.BROAD, query)

@@ -1,0 +1,71 @@
+"""Tests for query/keyword normalization."""
+
+from hypothesis import given, strategies as st
+
+from repro.matching.normalize import (
+    SYNONYMS,
+    expand_token,
+    normalize_phrase,
+    normalize_token,
+)
+
+
+class TestNormalizeToken:
+    def test_lowercase(self):
+        assert normalize_token("Printer") == "printer"
+
+    def test_diacritics_stripped(self):
+        assert normalize_token("crèmé") == "creme"
+
+    def test_punctuation_stripped(self):
+        assert normalize_token("anti-virus!") == "antivirus"
+
+    def test_plural_folding(self):
+        assert normalize_token("flights") == "flight"
+        assert normalize_token("handbags") == "handbag"
+
+    def test_short_words_not_depluralized(self):
+        assert normalize_token("gas") == "gas"
+
+    def test_double_s_preserved(self):
+        assert normalize_token("glass") == "glass"
+
+    def test_misspelling_folded(self):
+        assert normalize_token("downlaod") == "download"
+        assert normalize_token("suport") == "support"
+
+    def test_plural_and_singular_converge(self):
+        assert normalize_token("downloads") == normalize_token("download")
+
+    @given(st.text(max_size=30))
+    def test_idempotent(self, token):
+        once = normalize_token(token)
+        assert normalize_token(once) in (once, normalize_token(once))
+        # Normalization must always produce lowercase alphanumerics.
+        assert all(c.isalnum() for c in once)
+
+    @given(st.text(max_size=30))
+    def test_never_raises(self, token):
+        normalize_token(token)
+
+
+class TestNormalizePhrase:
+    def test_drops_empty_tokens(self):
+        assert normalize_phrase(("a", "!!", "b")) == ("a", "b")
+
+    def test_preserves_order(self):
+        assert normalize_phrase(("Weight", "Loss")) == ("weight", "loss")
+
+
+class TestSynonyms:
+    def test_expansion_includes_self(self):
+        assert "cheap" in expand_token("cheap")
+
+    def test_expansion_includes_synonyms(self):
+        assert "discount" in expand_token("cheap")
+
+    def test_synonym_table_targets_normalized(self):
+        for token, synonyms in SYNONYMS.items():
+            assert normalize_token(token) == token
+            for synonym in synonyms:
+                assert normalize_token(synonym) == synonym

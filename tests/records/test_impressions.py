@@ -1,0 +1,100 @@
+"""Tests for the columnar impression table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RecordError
+from repro.records.impressions import ImpressionBuilder, ImpressionTable
+
+
+def build_table(rows):
+    builder = ImpressionBuilder()
+    for row in rows:
+        builder.add(**row)
+    return builder.build()
+
+
+def row(**overrides):
+    defaults = dict(
+        day=1.5,
+        advertiser_id=1,
+        ad_id=10,
+        vertical=0,
+        country=0,
+        match_type=0,
+        position=1,
+        mainline=True,
+        weight=100.0,
+        clicks=5.0,
+        spend=2.5,
+        price=0.5,
+        n_shown=3,
+        n_fraud_shown=1,
+        fraud_labeled=False,
+    )
+    defaults.update(overrides)
+    return defaults
+
+
+class TestBuilder:
+    def test_len(self):
+        builder = ImpressionBuilder()
+        assert len(builder) == 0
+        builder.add(**row())
+        assert len(builder) == 1
+
+    def test_build_types(self):
+        table = build_table([row()])
+        assert table.day.dtype == np.float64
+        assert table.mainline.dtype == bool
+        assert table.position.dtype == np.int16
+
+    def test_empty_build(self):
+        table = ImpressionBuilder().build()
+        assert len(table) == 0
+        assert table.total_clicks() == 0.0
+
+
+class TestTable:
+    def test_ragged_rejected(self):
+        table = build_table([row(), row(day=2.0)])
+        with pytest.raises(RecordError):
+            ImpressionTable(
+                **{
+                    name: (
+                        getattr(table, name)[:1]
+                        if name == "day"
+                        else getattr(table, name)
+                    )
+                    for name in ImpressionTable.field_names()
+                }
+            )
+
+    def test_select(self):
+        table = build_table([row(day=1.0), row(day=2.0), row(day=3.0)])
+        subset = table.select(table.day > 1.5)
+        assert len(subset) == 2
+
+    def test_in_window_half_open(self):
+        table = build_table([row(day=1.0), row(day=2.0), row(day=3.0)])
+        window = table.in_window(1.0, 3.0)
+        assert len(window) == 2
+        assert set(window.day.tolist()) == {1.0, 2.0}
+
+    def test_totals(self):
+        table = build_table([row(clicks=5.0, spend=2.5), row(clicks=3.0, spend=1.0)])
+        assert table.total_clicks() == 8.0
+        assert table.total_spend() == 3.5
+
+    def test_has_fraud_competition_excludes_self(self):
+        # A fraud advertiser alone on the page: n_fraud_shown == 1 is itself.
+        table = build_table(
+            [
+                row(fraud_labeled=True, n_fraud_shown=1),
+                row(fraud_labeled=True, n_fraud_shown=2),
+                row(fraud_labeled=False, n_fraud_shown=1),
+                row(fraud_labeled=False, n_fraud_shown=0),
+            ]
+        )
+        expected = [False, True, True, False]
+        assert table.has_fraud_competition.tolist() == expected

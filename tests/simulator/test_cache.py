@@ -1,0 +1,29 @@
+"""Tests for the in-process simulation cache."""
+
+from repro import small_config
+from repro.simulator.cache import cached_simulation, clear_cache
+
+
+class TestCache:
+    def test_same_config_shares_result(self):
+        config = small_config(seed=123, days=20)
+        first = cached_simulation(config)
+        second = cached_simulation(config)
+        assert first is second
+
+    def test_equal_configs_share(self):
+        first = cached_simulation(small_config(seed=124, days=20))
+        second = cached_simulation(small_config(seed=124, days=20))
+        assert first is second
+
+    def test_different_configs_distinct(self):
+        a = cached_simulation(small_config(seed=125, days=20))
+        b = cached_simulation(small_config(seed=126, days=20))
+        assert a is not b
+
+    def test_clear(self):
+        config = small_config(seed=127, days=20)
+        first = cached_simulation(config)
+        clear_cache()
+        second = cached_simulation(config)
+        assert first is not second

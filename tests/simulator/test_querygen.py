@@ -1,0 +1,108 @@
+"""Tests for query generation and the pre-computed match tables."""
+
+import numpy as np
+import pytest
+
+from repro.config import QueryConfig
+from repro.entities.enums import MatchType
+from repro.matching.matcher import matches
+from repro.records.codes import MATCH_CODES
+from repro.simulator.querygen import CellSampler, MatchTable, QuerySampler, match_table
+from repro.taxonomy.keywords import keyword_pool
+from repro.taxonomy.verticals import VERTICALS
+
+
+class TestMatchTable:
+    def test_agrees_with_matcher(self):
+        """The table must reproduce the real matcher on pool pairs."""
+        name = "weightloss"
+        pool = keyword_pool(name)
+        table = match_table(name)
+        for kw_index, keyword in enumerate(pool):
+            for seed_index, seed in enumerate(pool):
+                assert table.exact[kw_index, seed_index] == matches(
+                    keyword, MatchType.EXACT, seed
+                )
+                assert table.phrase[kw_index, seed_index] == matches(
+                    keyword, MatchType.PHRASE, seed
+                )
+                assert table.broad[kw_index, seed_index] == matches(
+                    keyword, MatchType.BROAD, seed
+                )
+
+    def test_diagonal_always_eligible(self):
+        table = match_table("downloads")
+        size = len(keyword_pool("downloads"))
+        for index in range(size):
+            assert table.exact[index, index]
+            assert table.phrase[index, index]
+            assert table.broad[index, index]
+
+    def test_exact_requires_plain_query(self):
+        table = match_table("downloads")
+        assert table.eligible(0, MATCH_CODES[MatchType.EXACT], 0, False, False)
+        assert not table.eligible(0, MATCH_CODES[MatchType.EXACT], 0, True, False)
+        assert not table.eligible(0, MATCH_CODES[MatchType.EXACT], 0, True, True)
+
+    def test_phrase_survives_decoration_not_shuffle(self):
+        table = match_table("downloads")
+        assert table.eligible(0, MATCH_CODES[MatchType.PHRASE], 0, True, False)
+        assert not table.eligible(0, MATCH_CODES[MatchType.PHRASE], 0, True, True)
+
+    def test_broad_survives_shuffle(self):
+        table = match_table("downloads")
+        assert table.eligible(0, MATCH_CODES[MatchType.BROAD], 0, True, True)
+
+    def test_eligible_pairs_consistent(self):
+        table = match_table("luxury")
+        pairs = table.eligible_pairs(0, decorated=False, shuffled=False)
+        for kw_index, code in pairs:
+            assert table.eligible(kw_index, code, 0, False, False)
+        # Shuffled queries only produce broad pairs.
+        for _, code in table.eligible_pairs(0, decorated=True, shuffled=True):
+            assert code == MATCH_CODES[MatchType.BROAD]
+
+
+class TestCellSampler:
+    def test_split_roundtrip(self):
+        cells = CellSampler()
+        for cell_id in (0, 5, cells.n_cells - 1):
+            vertical, country = cells.split(cell_id)
+            assert cells.cell_of(vertical, country) == cell_id
+
+    def test_sampling_follows_volume(self, rng):
+        cells = CellSampler()
+        samples = cells.sample(rng, 20_000)
+        counts = np.bincount(samples, minlength=cells.n_cells)
+        probs = cells.cell_probabilities()
+        top_expected = int(np.argmax(probs))
+        assert counts[top_expected] == counts.max()
+
+
+class TestQuerySampler:
+    def test_day_sample_size(self, rng):
+        sampler = QuerySampler(QueryConfig(auctions_per_day=37))
+        queries = sampler.sample_day(rng)
+        assert len(queries) == 37
+
+    def test_query_fields_valid(self, rng):
+        sampler = QuerySampler(QueryConfig(auctions_per_day=500))
+        for query in sampler.sample_day(rng):
+            assert 0 <= query.vertical < len(VERTICALS)
+            pool = keyword_pool(VERTICALS[query.vertical].name)
+            assert 0 <= query.seed_index < len(pool)
+            assert query.weight > 0
+            if query.shuffled:
+                assert query.decorated
+
+    def test_decoration_rate(self, rng):
+        config = QueryConfig(auctions_per_day=4000, decorate_prob=0.4)
+        sampler = QuerySampler(config)
+        queries = sampler.sample_day(rng)
+        rate = np.mean([q.decorated for q in queries])
+        assert rate == pytest.approx(0.4, abs=0.04)
+
+    def test_no_decoration_when_disabled(self, rng):
+        config = QueryConfig(decorate_prob=0.0)
+        sampler = QuerySampler(config)
+        assert not any(q.decorated for q in sampler.sample_day(rng))

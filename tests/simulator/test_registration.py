@@ -1,0 +1,54 @@
+"""Tests for the account arrival process."""
+
+import numpy as np
+
+from repro.config import PopulationConfig
+from repro.simulator.registration import FraudShareSchedule, sample_daily_counts
+
+
+class TestSchedule:
+    def test_ramp(self, rng):
+        config = PopulationConfig(
+            fraud_share_start=0.3, fraud_share_end=0.6, fraud_share_noise=0.0001
+        )
+        schedule = FraudShareSchedule(config, 100, rng)
+        assert abs(schedule.share(0) - 0.3) < 0.01
+        assert abs(schedule.share(99) - 0.597) < 0.02
+        assert schedule.share(50) > schedule.share(0)
+
+    def test_bounds(self, rng):
+        config = PopulationConfig(
+            fraud_share_start=0.05, fraud_share_end=0.9, fraud_share_noise=0.4
+        )
+        schedule = FraudShareSchedule(config, 50, rng)
+        for day in range(50):
+            assert 0.02 <= schedule.share(day) <= 0.95
+
+    def test_noise_constant_within_week(self, rng):
+        config = PopulationConfig(fraud_share_noise=0.1)
+        schedule = FraudShareSchedule(config, 100, rng)
+        # Within one week only the linear ramp moves (small), while
+        # noise re-draws across week boundaries can be large.
+        assert abs(schedule.share(7) - schedule.share(13)) < 0.02
+
+
+class TestDailyCounts:
+    def test_split_sums(self, rng):
+        config = PopulationConfig(registrations_per_day=50.0)
+        schedule = FraudShareSchedule(config, 10, rng)
+        fraud, nonfraud = sample_daily_counts(config, schedule, 0, rng)
+        assert fraud >= 0 and nonfraud >= 0
+
+    def test_fraud_share_matches_schedule(self, rng):
+        config = PopulationConfig(
+            registrations_per_day=200.0,
+            fraud_share_start=0.5,
+            fraud_share_end=0.5,
+            fraud_share_noise=0.0001,
+        )
+        schedule = FraudShareSchedule(config, 10, rng)
+        totals = np.zeros(2)
+        for _ in range(200):
+            fraud, nonfraud = sample_daily_counts(config, schedule, 3, rng)
+            totals += (fraud, fraud + nonfraud)
+        assert abs(totals[0] / totals[1] - 0.5) < 0.02

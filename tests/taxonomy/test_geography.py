@@ -1,0 +1,84 @@
+"""Tests for the country/market model."""
+
+import pytest
+
+from repro.taxonomy.geography import (
+    COUNTRIES,
+    country,
+    country_codes,
+    fraud_registration_weights,
+    home_targeting_prob,
+    market_attractiveness,
+    nonfraud_registration_weights,
+    query_volume_weights,
+)
+
+
+class TestCatalog:
+    def test_table_1_and_3_countries_present(self):
+        codes = set(country_codes())
+        for expected in ("US", "IN", "GB", "BR", "AU", "CA", "DE", "FR", "MX", "SE"):
+            assert expected in codes
+
+    def test_unique_codes(self):
+        codes = country_codes()
+        assert len(codes) == len(set(codes))
+
+    def test_lookup(self):
+        assert country("US").currency == "USD"
+        assert country("IN").language == "en"
+        with pytest.raises(KeyError):
+            country("ZZ")
+
+
+class TestCalibration:
+    def test_us_dominates_fraud_registrations(self):
+        codes, probs = fraud_registration_weights()
+        by_code = dict(zip(codes, probs))
+        assert by_code["US"] == max(probs)
+        # Table 1 ordering: US > IN > GB > everyone else.
+        assert by_code["US"] > by_code["IN"] > by_code["GB"]
+        assert all(
+            by_code[c] < by_code["GB"] for c in codes if c not in ("US", "IN", "GB")
+        )
+
+    def test_india_fraud_targets_abroad(self):
+        # Tech-support operations register in IN but advertise in the US.
+        assert home_targeting_prob("IN") < 0.3
+        assert home_targeting_prob("US") > 0.8
+
+    def test_brazil_over_pulled_relative_to_volume(self):
+        # Table 3: BR has the highest fraudulent share of its own clicks,
+        # so fraud must target BR far beyond its query volume.
+        codes, pull = market_attractiveness()
+        _, volume = query_volume_weights()
+        by = dict(zip(codes, pull / volume))
+        assert by["BR"] == max(by.values())
+
+    def test_uk_france_clean(self):
+        # Table 3: UK and France are "significantly cleaner" than other
+        # major Western nations -- their pull-to-volume ratio sits far
+        # below the dirty markets (BR, DE).
+        codes, pull = market_attractiveness()
+        _, volume = query_volume_weights()
+        by = dict(zip(codes, pull / volume))
+        assert by["GB"] < by["BR"] / 10
+        assert by["FR"] < by["BR"] / 10
+        assert by["GB"] < by["DE"] / 5
+
+    @pytest.mark.parametrize(
+        "weights_fn",
+        [
+            fraud_registration_weights,
+            nonfraud_registration_weights,
+            market_attractiveness,
+            query_volume_weights,
+        ],
+    )
+    def test_weights_normalized(self, weights_fn):
+        _, probs = weights_fn()
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_all_home_biases_valid(self):
+        for entry in COUNTRIES:
+            assert 0.0 <= entry.home_bias <= 1.0

@@ -1,0 +1,94 @@
+"""Tests for the vertical taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.taxonomy.verticals import (
+    DUBIOUS_VERTICALS,
+    VERTICALS,
+    Vertical,
+    dubious_vertical_names,
+    fraud_vertical_weights,
+    nonfraud_vertical_weights,
+    prolific_vertical_weights,
+    vertical,
+)
+
+
+class TestCatalog:
+    def test_figure8_verticals_present(self):
+        names = set(dubious_vertical_names())
+        for expected in (
+            "techsupport",
+            "downloads",
+            "luxury",
+            "flights",
+            "wrinkles",
+            "impersonation",
+            "weightloss",
+            "shopping",
+            "games",
+            "chronic",
+        ):
+            assert expected in names
+
+    def test_unique_names(self):
+        names = [v.name for v in VERTICALS]
+        assert len(names) == len(set(names))
+
+    def test_lookup(self):
+        assert vertical("techsupport").dubious
+        assert not vertical("insurance").dubious
+        with pytest.raises(KeyError):
+            vertical("nonexistent")
+
+    def test_fraud_weight_zero_on_legit_verticals(self):
+        for v in VERTICALS:
+            if not v.dubious:
+                assert v.fraud_weight == 0.0
+                assert v.prolific_weight == 0.0
+
+    def test_techsupport_most_lucrative_dubious(self):
+        tech = vertical("techsupport")
+        others = [v for v in DUBIOUS_VERTICALS if v.name != "techsupport"]
+        assert all(tech.value_per_click > o.value_per_click for o in others)
+
+    def test_techsupport_tops_prolific_weights(self):
+        names, probs = prolific_vertical_weights()
+        best = names[int(np.argmax(probs))]
+        assert best == "techsupport"
+
+
+class TestWeights:
+    @pytest.mark.parametrize(
+        "weights_fn",
+        [fraud_vertical_weights, prolific_vertical_weights, nonfraud_vertical_weights],
+    )
+    def test_weights_normalized(self, weights_fn):
+        names, probs = weights_fn()
+        assert len(names) == len(probs)
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs > 0).all()
+
+    def test_fraud_pool_is_dubious_only(self):
+        names, _ = fraud_vertical_weights()
+        assert all(vertical(name).dubious for name in names)
+
+    def test_nonfraud_pool_includes_both(self):
+        names, _ = nonfraud_vertical_weights()
+        assert any(vertical(name).dubious for name in names)
+        assert any(not vertical(name).dubious for name in names)
+
+
+class TestValidation:
+    def test_bad_base_ctr(self):
+        with pytest.raises(ValueError):
+            Vertical("x", True, 1.0, 1.0, 0.0, 1, 1, 1)
+
+    def test_bad_volume(self):
+        with pytest.raises(ValueError):
+            Vertical("x", True, 0.0, 1.0, 0.05, 1, 1, 1)
+
+    def test_negative_weight(self):
+        with pytest.raises(ValueError):
+            Vertical("x", True, 1.0, 1.0, 0.05, -1, 1, 1)

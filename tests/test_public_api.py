@@ -1,0 +1,49 @@
+"""Public API surface checks: __all__ entries must exist and import."""
+
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.analysis",
+    "repro.auction",
+    "repro.behavior",
+    "repro.clickmodel",
+    "repro.detection",
+    "repro.entities",
+    "repro.experiments",
+    "repro.matching",
+    "repro.plotting",
+    "repro.records",
+    "repro.simulator",
+    "repro.taxonomy",
+    "repro.validation",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+class TestPublicApi:
+    def test_all_entries_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), f"{module_name} lacks __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_all_entries_unique(self, module_name):
+        module = importlib.import_module(module_name)
+        assert len(module.__all__) == len(set(module.__all__))
+
+
+class TestVersionMetadata:
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_package_docstrings(self):
+        for module_name in MODULES:
+            module = importlib.import_module(module_name)
+            assert module.__doc__, f"{module_name} lacks a docstring"

@@ -1,0 +1,108 @@
+"""Tests for the simulation calendar."""
+
+import pytest
+
+from repro.timeline import (
+    DAYS_PER_MONTH,
+    DAYS_PER_YEAR,
+    TOTAL_DAYS,
+    Window,
+    day_to_month,
+    day_to_week,
+    day_to_year,
+    month_label,
+    month_start,
+    named_windows,
+    quarter_window,
+)
+
+
+class TestWindow:
+    def test_length(self):
+        assert Window(3.0, 10.0).length == 7.0
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            Window(5.0, 5.0)
+        with pytest.raises(ValueError):
+            Window(5.0, 4.0)
+
+    def test_contains_half_open(self):
+        window = Window(10.0, 20.0)
+        assert window.contains(10.0)
+        assert window.contains(19.999)
+        assert not window.contains(20.0)
+        assert not window.contains(9.999)
+
+    def test_overlaps(self):
+        window = Window(10.0, 20.0)
+        assert window.overlaps(0.0, 10.5)
+        assert window.overlaps(19.0, 30.0)
+        assert window.overlaps(12.0, 13.0)
+        assert not window.overlaps(0.0, 10.0)
+        assert not window.overlaps(20.0, 25.0)
+
+    def test_clip(self):
+        window = Window(10.0, 20.0)
+        assert window.clip(0.0, 30.0) == 10.0
+        assert window.clip(15.0, 18.0) == 3.0
+        assert window.clip(0.0, 5.0) == 0.0
+        assert window.clip(25.0, 30.0) == 0.0
+
+
+class TestCalendar:
+    def test_day_to_week(self):
+        assert day_to_week(0.0) == 0
+        assert day_to_week(6.99) == 0
+        assert day_to_week(7.0) == 1
+
+    def test_day_to_month_boundaries(self):
+        assert day_to_month(0.0) == 0
+        assert day_to_month(DAYS_PER_MONTH) == 1
+        assert day_to_month(DAYS_PER_YEAR) == 12
+        # Clamped at the final month.
+        assert day_to_month(TOTAL_DAYS + 100) == 23
+
+    def test_day_to_year(self):
+        assert day_to_year(0.0) == 0
+        assert day_to_year(DAYS_PER_YEAR - 0.5) == 0
+        assert day_to_year(DAYS_PER_YEAR) == 1
+        assert day_to_year(TOTAL_DAYS + 5) == 1
+
+    def test_month_labels(self):
+        assert month_label(0) == "1/Y1"
+        assert month_label(11) == "12/Y1"
+        assert month_label(12) == "1/Y2"
+        assert month_label(23) == "12/Y2"
+
+    def test_month_start_roundtrip(self):
+        for month in range(24):
+            assert day_to_month(month_start(month) + 0.01) == month
+
+    def test_quarter_window(self):
+        q = quarter_window(1, 2)
+        assert q.start == pytest.approx(DAYS_PER_YEAR / 4)
+        assert q.length == pytest.approx(DAYS_PER_YEAR / 4)
+        assert q.label == "Y1Q2"
+        q2 = quarter_window(2, 1)
+        assert q2.start == pytest.approx(DAYS_PER_YEAR)
+
+    def test_quarter_window_validation(self):
+        with pytest.raises(ValueError):
+            quarter_window(3, 1)
+        with pytest.raises(ValueError):
+            quarter_window(1, 0)
+
+    def test_named_windows_within_study(self):
+        for window in named_windows().values():
+            assert 0 <= window.start < window.end <= TOTAL_DAYS
+
+    def test_named_windows_labels(self):
+        names = set(named_windows())
+        assert names == {
+            "Q2 Year 1",
+            "Oct. Year 1",
+            "Q1 Year 2",
+            "Apr. Year 2",
+            "Oct. Year 2",
+        }
