@@ -1,0 +1,40 @@
+"""Smoke test for the engine phase benchmark.
+
+Runs ``scripts/bench_engine.py --quick`` and asserts it emits a
+well-formed ``BENCH_engine.json`` record.  Deliberately asserts nothing
+about wall-clock numbers — the point is that every future PR can run
+the bench and extend the perf trajectory, not that CI machines are
+fast — so this stays tier-1-safe (no flaky thresholds).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCRIPTS_DIR = Path(__file__).resolve().parent.parent / "scripts"
+
+
+def test_bench_engine_quick_emits_well_formed_json(tmp_path):
+    sys.path.insert(0, str(SCRIPTS_DIR))
+    try:
+        import bench_engine
+    finally:
+        sys.path.remove(str(SCRIPTS_DIR))
+
+    out = tmp_path / "BENCH_engine.json"
+    code = bench_engine.main(["--quick", "--out", str(out)])
+    assert code == 0
+    record = json.loads(out.read_text())
+
+    assert record["schema"] == bench_engine.SCHEMA
+    assert record["config"]["preset"] == "quick"
+    assert record["config"]["days"] > 0
+    phases = record["phases"]
+    for key in ("population_s", "market_build_s", "auctions_s", "total_s"):
+        assert phases[key] >= 0.0
+    assert record["impressions"]["rows"] > 0
+    assert record["impressions"]["rows_per_sec"] > 0
+    # Not requested, so the oracle comparison must be absent.
+    assert "scalar_oracle" not in record

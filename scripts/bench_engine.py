@@ -1,0 +1,152 @@
+"""Simulation-engine phase benchmark.
+
+Times the three engine phases (population generation, market build,
+the Phase-3 auction loop) and records the results as JSON so the perf
+trajectory is tracked across PRs::
+
+    PYTHONPATH=src python scripts/bench_engine.py                  # default config
+    PYTHONPATH=src python scripts/bench_engine.py --quick          # test-scale config
+    PYTHONPATH=src python scripts/bench_engine.py --compare-scalar # also time the oracle
+
+``--compare-scalar`` additionally runs the retained scalar auction loop
+(:meth:`SimulationEngine.run_auctions_scalar`) on an identically-seeded
+engine and records the batched-vs-scalar speedup.  The default output
+file is ``BENCH_engine.json`` in the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import default_config, small_config
+from repro.records.impressions import ImpressionBuilder
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.market import MarketIndex
+
+SCHEMA = "repro.bench_engine/v1"
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _build_config(quick: bool, seed: int | None):
+    if quick:
+        return small_config() if seed is None else small_config(seed=seed)
+    return default_config() if seed is None else default_config(seed=seed)
+
+
+def _run_phases(config) -> dict:
+    engine = SimulationEngine(config)
+    t0 = time.perf_counter()
+    accounts, _ = engine.generate_population()
+    t1 = time.perf_counter()
+    market = MarketIndex(accounts)
+    market.country_volume_check()
+    t2 = time.perf_counter()
+    builder = ImpressionBuilder()
+    engine.run_auctions(market, builder)
+    t3 = time.perf_counter()
+    table = builder.build()
+    auctions_s = t3 - t2
+    return {
+        "phases": {
+            "population_s": round(t1 - t0, 4),
+            "market_build_s": round(t2 - t1, 4),
+            "auctions_s": round(auctions_s, 4),
+            "total_s": round(t3 - t0, 4),
+        },
+        "impressions": {
+            "rows": len(table),
+            "rows_per_sec": (
+                round(len(table) / auctions_s, 1) if auctions_s > 0 else None
+            ),
+        },
+    }
+
+
+def _run_scalar_oracle(config) -> float:
+    """Phase-3 wall-clock of the scalar loop on a fresh same-seed engine."""
+    engine = SimulationEngine(config)
+    accounts, _ = engine.generate_population()
+    market = MarketIndex(accounts)
+    builder = ImpressionBuilder()
+    t0 = time.perf_counter()
+    engine.run_auctions_scalar(market, builder)
+    return time.perf_counter() - t0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="bench-engine", description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the fast test-scale configuration",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help="output JSON path (default: BENCH_engine.json at repo root)",
+    )
+    parser.add_argument(
+        "--compare-scalar",
+        action="store_true",
+        help="also run the scalar oracle auction loop and record the speedup",
+    )
+    args = parser.parse_args(argv)
+
+    config = _build_config(args.quick, args.seed)
+    record = {
+        "schema": SCHEMA,
+        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "config": {
+            "preset": "quick" if args.quick else "default",
+            "seed": config.seed,
+            "days": config.days,
+            "auctions_per_day": config.query.auctions_per_day,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+    }
+    record.update(_run_phases(config))
+    if args.compare_scalar:
+        scalar_s = _run_scalar_oracle(config)
+        batched_s = record["phases"]["auctions_s"]
+        record["scalar_oracle"] = {
+            "auctions_s": round(scalar_s, 4),
+            "speedup_batched_over_scalar": (
+                round(scalar_s / batched_s, 2) if batched_s > 0 else None
+            ),
+        }
+
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    phases = record["phases"]
+    print(
+        f"population {phases['population_s']:.2f}s | "
+        f"market {phases['market_build_s']:.2f}s | "
+        f"auctions {phases['auctions_s']:.2f}s | "
+        f"{record['impressions']['rows']} rows "
+        f"({record['impressions']['rows_per_sec']} rows/s)"
+    )
+    if "scalar_oracle" in record:
+        oracle = record["scalar_oracle"]
+        print(
+            f"scalar oracle auctions {oracle['auctions_s']:.2f}s "
+            f"-> batched speedup {oracle['speedup_batched_over_scalar']}x"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

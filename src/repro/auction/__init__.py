@@ -1,18 +1,23 @@
 """Generalized second-price ad auction with quality scores."""
 
+from .batch import BatchAuctionResult, run_auction_batch
 from .gsp import AuctionOutcome, Candidate, ShownAd, run_auction
-from .pricing import gsp_price
+from .pricing import gsp_price, gsp_price_array
 from .quality import MATCH_RELEVANCE, quality_score
-from .slots import SlotPlacement, layout
+from .slots import SlotPlacement, layout, layout_counts
 
 __all__ = [
     "AuctionOutcome",
+    "BatchAuctionResult",
     "Candidate",
     "ShownAd",
     "run_auction",
+    "run_auction_batch",
     "gsp_price",
+    "gsp_price_array",
     "quality_score",
     "MATCH_RELEVANCE",
     "SlotPlacement",
     "layout",
+    "layout_counts",
 ]

@@ -1,15 +1,26 @@
-"""GSP per-click pricing."""
+"""GSP per-click pricing.
+
+Two entry points share the same arithmetic: :func:`gsp_price` prices a
+single shown ad (the scalar oracle used by
+:func:`repro.auction.gsp.run_auction`), and :func:`gsp_price_array`
+prices whole ranked arrays at once for the batched kernel in
+:mod:`repro.auction.batch`.  The array form applies the identical
+floating-point operations in the identical order, so the two agree
+bit-for-bit — a property the differential tests rely on.
+"""
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from ..config import AuctionConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .gsp import Candidate
 
-__all__ = ["gsp_price"]
+__all__ = ["gsp_price", "gsp_price_array"]
 
 
 def gsp_price(
@@ -31,3 +42,26 @@ def gsp_price(
         price = next_rank_score / candidate.quality + config.price_increment
     price = max(price, floor)
     return min(price, candidate.max_bid)
+
+
+def gsp_price_array(
+    max_bid: np.ndarray,
+    quality: np.ndarray,
+    next_rank_score: np.ndarray,
+    has_next: np.ndarray,
+    config: AuctionConfig,
+) -> np.ndarray:
+    """Vectorized :func:`gsp_price` over parallel candidate arrays.
+
+    ``next_rank_score[i]`` is the rank score of the competitor ranked
+    directly below ad ``i`` and is only read where ``has_next[i]`` is
+    true; ads with no lower-ranked competitor pay the reserve-implied
+    floor.  Uses the same operations as the scalar form (divide, add,
+    max, min) so results are bit-identical.
+    """
+    floor = config.reserve_score / quality + config.price_increment
+    competitor = np.where(has_next, next_rank_score, config.reserve_score)
+    price = competitor / quality + config.price_increment
+    price = np.where(has_next, price, floor)
+    price = np.maximum(price, floor)
+    return np.minimum(price, max_bid)

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import AuctionConfig
 
-__all__ = ["SlotPlacement", "layout"]
+__all__ = ["SlotPlacement", "layout", "layout_counts"]
 
 
 @dataclass(frozen=True)
@@ -51,3 +53,36 @@ def layout(rank_scores: list[float], config: AuctionConfig) -> list[SlotPlacemen
         else:
             break
     return placements
+
+
+def layout_counts(
+    n_eligible: np.ndarray,
+    n_mainline_eligible: np.ndarray,
+    config: AuctionConfig,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Closed-form :func:`layout` for ranked arrays of auctions.
+
+    For candidates sorted by descending rank score, the ads clearing
+    ``reserve_score`` form a prefix and — because ``mainline_reserve >=
+    reserve_score`` — so do the ads clearing ``mainline_reserve``.  The
+    sequential slot-filling loop in :func:`layout` therefore reduces to
+    counts: the mainline takes the top ``min(n_mainline_eligible,
+    mainline_slots)`` ads, the sidebar takes up to ``sidebar_slots`` of
+    the remaining eligible ads, everything past that is not shown.
+
+    Args:
+        n_eligible: Per-auction count of candidates with
+            ``rank_score >= reserve_score``.
+        n_mainline_eligible: Per-auction count of candidates with
+            ``rank_score >= mainline_reserve`` (never exceeds
+            ``n_eligible``).
+
+    Returns:
+        ``(n_mainline, n_shown)`` arrays: how many ads enter the
+        mainline and how many are shown in total, per auction.
+    """
+    n_mainline = np.minimum(n_mainline_eligible, config.mainline_slots)
+    n_shown = n_mainline + np.minimum(
+        n_eligible - n_mainline, config.sidebar_slots
+    )
+    return n_mainline, n_shown

@@ -1,6 +1,11 @@
 """User click model: position bias plus ad engagement."""
 
 from .engagement import click_probability, sample_clicks
-from .position_bias import examination_probability
+from .position_bias import examination_probability, examination_table
 
-__all__ = ["click_probability", "sample_clicks", "examination_probability"]
+__all__ = [
+    "click_probability",
+    "sample_clicks",
+    "examination_probability",
+    "examination_table",
+]

@@ -10,10 +10,12 @@ so click-through rates compose examination x quality.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..config import ClickConfig
 from ..auction.slots import SlotPlacement
 
-__all__ = ["examination_probability"]
+__all__ = ["examination_probability", "examination_table"]
 
 
 def examination_probability(
@@ -38,3 +40,21 @@ def examination_probability(
     return config.sidebar_examination * config.sidebar_decay ** max(
         0, placement.position - 2
     )
+
+
+def examination_table(config: ClickConfig, max_position: int) -> np.ndarray:
+    """Examination probabilities tabulated over (sidebar/mainline, position).
+
+    ``table[int(mainline), position]`` equals
+    :func:`examination_probability` for that placement; ``position`` is
+    1-based so row 0 of each half is unused (zero).  Built by calling
+    the scalar function — a handful of evaluations per config — so the
+    vectorized click path reuses its values bit-for-bit.
+    """
+    table = np.zeros((2, max_position + 1), dtype=np.float64)
+    for mainline in (False, True):
+        for position in range(1, max_position + 1):
+            table[int(mainline), position] = examination_probability(
+                SlotPlacement(position, mainline), config
+            )
+    return table

@@ -42,10 +42,32 @@ _FIELDS: tuple[tuple[str, str], ...] = (
 
 
 class ImpressionBuilder:
-    """Accumulates impression rows cheaply during simulation."""
+    """Accumulates impression rows cheaply during simulation.
+
+    Two ingestion paths share one builder: :meth:`add` appends a single
+    row (scalar path), :meth:`add_batch` appends whole numpy chunks (the
+    vectorized auction loop adds one chunk per simulated day).  Chunks
+    are only concatenated once, at :meth:`build`; interleaving the two
+    paths preserves row order.
+    """
 
     def __init__(self) -> None:
         self._columns: dict[str, list] = {name: [] for name, _ in _FIELDS}
+        self._chunks: dict[str, list[np.ndarray]] = {
+            name: [] for name, _ in _FIELDS
+        }
+        self._chunk_rows = 0
+
+    def _flush_scalar(self) -> None:
+        """Convert pending scalar rows into a chunk (keeps row order)."""
+        pending = len(self._columns["day"])
+        if pending == 0:
+            return
+        for name, dtype in _FIELDS:
+            column = self._columns[name]
+            self._chunks[name].append(np.asarray(column, dtype=dtype))
+            column.clear()
+        self._chunk_rows += pending
 
     def add(
         self,
@@ -82,13 +104,43 @@ class ImpressionBuilder:
         columns["n_fraud_shown"].append(n_fraud_shown)
         columns["fraud_labeled"].append(fraud_labeled)
 
+    def add_batch(self, **arrays: np.ndarray) -> None:
+        """Append one chunk of rows, given as parallel arrays per field.
+
+        Every impression field must be present and all arrays must share
+        one length.  Arrays are cast to the storage dtype on ingestion
+        so :meth:`build` is a pure concatenation.
+        """
+        expected = {name for name, _ in _FIELDS}
+        if set(arrays) != expected:
+            missing = expected - set(arrays)
+            extra = set(arrays) - expected
+            raise RecordError(
+                f"impression batch fields: missing {sorted(missing)}, "
+                f"unexpected {sorted(extra)}"
+            )
+        lengths = {name: len(arrays[name]) for name, _ in _FIELDS}
+        if len(set(lengths.values())) != 1:
+            raise RecordError(f"ragged impression batch: {lengths}")
+        if lengths["day"] == 0:
+            return
+        self._flush_scalar()
+        for name, dtype in _FIELDS:
+            self._chunks[name].append(np.asarray(arrays[name], dtype=dtype))
+        self._chunk_rows += lengths["day"]
+
     def __len__(self) -> int:
-        return len(self._columns["day"])
+        return self._chunk_rows + len(self._columns["day"])
 
     def build(self) -> "ImpressionTable":
         """Freeze the accumulated rows into numpy arrays."""
+        self._flush_scalar()
         arrays = {
-            name: np.asarray(self._columns[name], dtype=dtype)
+            name: (
+                np.concatenate(self._chunks[name])
+                if self._chunks[name]
+                else np.zeros(0, dtype=dtype)
+            )
             for name, dtype in _FIELDS
         }
         return ImpressionTable(**arrays)

@@ -13,18 +13,30 @@ Runs in three phases:
    :class:`~repro.simulator.market.MarketIndex`.
 3. **Auctions** -- for each day, compute live offers, sample the query
    stream, run GSP auctions, sample clicks, and append impression rows.
+
+Phase 3 is array-native: each day's queries are gathered into one flat
+candidate batch (market row indices, no per-candidate objects), ranked
+and priced by the batched kernel in :mod:`repro.auction.batch`, clicks
+are drawn with a single vectorized Poisson call, and rows land in the
+:class:`~repro.records.impressions.ImpressionBuilder` as one numpy
+chunk per day.  The pre-vectorization scalar loop is retained as
+:meth:`SimulationEngine.run_auctions_scalar` -- it is the differential
+oracle the batched path is tested against, and because the batched path
+replays the scalar path's RNG draws in the same order on the same
+streams, both produce bit-identical impression tables.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..auction.batch import run_auction_batch
 from ..auction.gsp import Candidate, run_auction
 from ..behavior.factory import IdAllocator, MaterializedAccount, materialize_account
 from ..behavior.fraudulent import sample_fraud_profile
 from ..behavior.legitimate import sample_legitimate_profile
 from ..behavior.profiles import AdvertiserProfile
-from ..clickmodel.position_bias import examination_probability
+from ..clickmodel.position_bias import examination_probability, examination_table
 from ..config import SimulationConfig
 from ..detection.pipeline import DetectionOutcome, DetectionPipeline
 from ..entities.advertiser import Advertiser
@@ -34,7 +46,7 @@ from ..records.impressions import ImpressionBuilder
 from ..rng import stream
 from ..taxonomy.geography import country as country_info
 from ..taxonomy.verticals import VERTICALS
-from .market import MarketIndex
+from .market import MarketIndex, bucket_keys
 from .querygen import QuerySampler, match_table
 from .registration import FraudShareSchedule, sample_daily_counts
 from .results import AccountSummary, SimulationResult
@@ -65,6 +77,12 @@ class SimulationEngine:
         )
         self._ids = IdAllocator()
         self._next_advertiser_id = 0
+        #: Memo for the *scalar oracle* path only.  Keys are
+        #: ``(vertical, seed, decorated, shuffled)``; the reachable key
+        #: space is bounded at ``n_verticals * pool_size * 3`` (the
+        #: three query shapes), a few thousand entries at most.  The
+        #: batched path needs no memo: it reads the arrays precomputed
+        #: by :meth:`repro.simulator.querygen.MatchTable.eligible_arrays`.
         self._eligible_memo: dict[tuple[int, int, bool, bool], list] = {}
 
     # ------------------------------------------------------------------
@@ -107,14 +125,12 @@ class SimulationEngine:
         kw_mods: list[float] = []
         n_domains = 0
         if account is not None:
-            from ..records.codes import match_code as mc
-
             domains = set()
             for campaign in advertiser.campaigns:
                 for ad in campaign.ads:
                     domains.add(ad.destination_domain)
                 for bid in campaign.bids:
-                    code = mc(bid.match_type)
+                    code = match_code(bid.match_type)
                     bid_count[code] += 1
                     bid_sum[code] += bid.max_bid
                     if bid.max_bid > default_bid * 1.0001:
@@ -300,7 +316,113 @@ class SimulationEngine:
     def run_auctions(
         self, market: MarketIndex, builder: ImpressionBuilder
     ) -> None:
-        """Phase 3: the daily auction loop."""
+        """Phase 3: the daily auction loop, array-native.
+
+        Produces an impression stream bit-identical to
+        :meth:`run_auctions_scalar`: candidate gathering, ranking,
+        dedupe, layout and pricing are exact array re-formulations of
+        the scalar mechanics, and the day's click draws are issued as
+        one vectorized Poisson call over the same lambda sequence the
+        scalar loop would draw one by one (numpy ``Generator`` draws
+        are stream-equivalent either way).
+        """
+        config = self.config
+        sampler = QuerySampler(config.query)
+        cells = sampler.cells
+        rng_clicks = self._rng_clicks
+        auction_config = config.auction
+        exam_table = examination_table(config.click, auction_config.total_slots)
+        tables = [match_table(v.name) for v in VERTICALS]
+        for day in range(config.days):
+            time = day + 0.5
+            buckets = market.day_buckets(time, self._rng_market)
+            if len(buckets) == 0:
+                continue
+            queries = sampler.sample_day(self._rng_queries)
+            n_queries = len(queries)
+            weight = np.empty(n_queries, dtype=np.float64)
+            vertical = np.empty(n_queries, dtype=np.int16)
+            country = np.empty(n_queries, dtype=np.int16)
+            cell_ids = np.empty(n_queries, dtype=np.int64)
+            counts = np.zeros(n_queries, dtype=np.int64)
+            kw_chunks: list[np.ndarray] = []
+            mcode_chunks: list[np.ndarray] = []
+            for seg, query in enumerate(queries):
+                weight[seg] = query.weight
+                vertical[seg] = query.vertical
+                country[seg] = query.country
+                cell_ids[seg] = cells.cell_of(query.vertical, query.country)
+                kws, mcodes = tables[query.vertical].eligible_arrays(
+                    query.seed_index, query.decorated, query.shuffled
+                )
+                if len(kws):
+                    counts[seg] = len(kws)
+                    kw_chunks.append(kws)
+                    mcode_chunks.append(mcodes)
+            if not kw_chunks:
+                continue
+            # One flat (cell, keyword, match) key array for the whole
+            # day's query stream, resolved in a single bucket gather.
+            kw_all = np.concatenate(kw_chunks)
+            mcode_all = np.concatenate(mcode_chunks)
+            query_of_key = np.repeat(np.arange(n_queries), counts)
+            keys = bucket_keys(np.repeat(cell_ids, counts), kw_all, mcode_all)
+            rows, key_index = buckets.gather(keys)
+            if rows.size == 0:
+                continue
+            segments = query_of_key[key_index]
+            mcode = mcode_all[key_index]
+            result = run_auction_batch(
+                segments,
+                market.advertiser_id[rows],
+                market.ad_id[rows],
+                market.max_bid[rows],
+                market.quality[rows],
+                market.fraud_labeled[rows],
+                auction_config,
+                n_queries,
+            )
+            if len(result) == 0:
+                continue
+            shown_rows = rows[result.candidate_index]
+            shown_seg = result.segment
+            examine = exam_table[
+                result.mainline.astype(np.intp), result.position
+            ]
+            p_click = np.minimum(1.0, examine * market.quality[shown_rows])
+            lam = weight[shown_seg] * p_click
+            clicks = np.zeros(len(lam), dtype=np.float64)
+            positive = np.flatnonzero(lam > 0)
+            if positive.size:
+                clicks[positive] = rng_clicks.poisson(lam[positive])
+            builder.add_batch(
+                day=np.full(len(lam), time),
+                advertiser_id=market.advertiser_id[shown_rows],
+                ad_id=market.ad_id[shown_rows],
+                vertical=vertical[shown_seg],
+                country=country[shown_seg],
+                match_type=mcode[result.candidate_index],
+                position=result.position,
+                mainline=result.mainline,
+                weight=weight[shown_seg],
+                clicks=clicks,
+                spend=clicks * result.price,
+                price=result.price,
+                n_shown=result.n_shown[shown_seg],
+                n_fraud_shown=result.n_fraud_shown[shown_seg],
+                fraud_labeled=market.fraud_labeled[shown_rows],
+            )
+
+    def run_auctions_scalar(
+        self, market: MarketIndex, builder: ImpressionBuilder
+    ) -> None:
+        """The pre-vectorization Phase 3 loop, kept as the oracle.
+
+        One :class:`~repro.auction.gsp.Candidate` object per eligible
+        offer, one scalar Poisson draw per shown ad.  Slow, but simple
+        enough to trust: the differential and end-to-end regression
+        tests assert :meth:`run_auctions` reproduces its output exactly.
+        """
         config = self.config
         sampler = QuerySampler(config.query)
         cells = sampler.cells
@@ -309,7 +431,7 @@ class SimulationEngine:
         for day in range(config.days):
             time = day + 0.5
             buckets = market.day_buckets(time, self._rng_market)
-            if not buckets.buckets:
+            if len(buckets) == 0:
                 continue
             for query in sampler.sample_day(self._rng_queries):
                 cell = cells.cell_of(query.vertical, query.country)

@@ -69,6 +69,39 @@ class MatchTable:
                 self.exact[kw_index, seed_index] = exact_match(keyword, seed)
                 self.phrase[kw_index, seed_index] = phrase_match(keyword, seed)
                 self.broad[kw_index, seed_index] = broad_match(keyword, seed)
+        # Precomputed (kw_index, match_code) arrays per (seed, query
+        # shape).  Exactly three query shapes exist — plain, decorated,
+        # decorated+shuffled (a shuffle implies decoration) — so the
+        # table holds `3 * pool_size` entries of at most `3 * pool_size`
+        # elements each: bounded and built once per vertical.
+        self._arrays_by_shape: tuple[
+            list[tuple[np.ndarray, np.ndarray]], ...
+        ] = (
+            [self._build_arrays(s, False, False) for s in range(size)],
+            [self._build_arrays(s, True, False) for s in range(size)],
+            [self._build_arrays(s, True, True) for s in range(size)],
+        )
+
+    def _build_arrays(
+        self, seed_index: int, decorated: bool, shuffled: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        kws: list[np.ndarray] = []
+        codes: list[np.ndarray] = []
+        if not decorated and not shuffled:
+            exact = np.flatnonzero(self.exact[:, seed_index])
+            kws.append(exact)
+            codes.append(np.full(len(exact), MATCH_CODES[MatchType.EXACT]))
+        if not shuffled:
+            phrase = np.flatnonzero(self.phrase[:, seed_index])
+            kws.append(phrase)
+            codes.append(np.full(len(phrase), MATCH_CODES[MatchType.PHRASE]))
+        broad = np.flatnonzero(self.broad[:, seed_index])
+        kws.append(broad)
+        codes.append(np.full(len(broad), MATCH_CODES[MatchType.BROAD]))
+        return (
+            np.concatenate(kws).astype(np.int64),
+            np.concatenate(codes).astype(np.int8),
+        )
 
     def eligible(
         self,
@@ -88,20 +121,24 @@ class MatchTable:
             return not shuffled and bool(self.phrase[kw_index, seed_index])
         return bool(self.broad[kw_index, seed_index])
 
+    def eligible_arrays(
+        self, seed_index: int, decorated: bool, shuffled: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Eligible ``(kw_index[], match_code[])`` arrays for a query shape.
+
+        Precomputed; do not mutate the returned arrays.  Ordered exactly
+        like :meth:`eligible_pairs`: exact matches first (ascending
+        keyword index), then phrase, then broad.
+        """
+        shape = 2 if shuffled else (1 if decorated else 0)
+        return self._arrays_by_shape[shape][seed_index]
+
     def eligible_pairs(
         self, seed_index: int, decorated: bool, shuffled: bool
     ) -> list[tuple[int, int]]:
         """All eligible (kw_index, match_code) pairs for a query shape."""
-        pairs: list[tuple[int, int]] = []
-        if not decorated and not shuffled:
-            for kw_index in np.flatnonzero(self.exact[:, seed_index]):
-                pairs.append((int(kw_index), MATCH_CODES[MatchType.EXACT]))
-        if not shuffled:
-            for kw_index in np.flatnonzero(self.phrase[:, seed_index]):
-                pairs.append((int(kw_index), MATCH_CODES[MatchType.PHRASE]))
-        for kw_index in np.flatnonzero(self.broad[:, seed_index]):
-            pairs.append((int(kw_index), MATCH_CODES[MatchType.BROAD]))
-        return pairs
+        kws, codes = self.eligible_arrays(seed_index, decorated, shuffled)
+        return [(int(kw), int(code)) for kw, code in zip(kws, codes)]
 
 
 @lru_cache(maxsize=None)

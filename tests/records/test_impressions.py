@@ -55,6 +55,56 @@ class TestBuilder:
         assert table.total_clicks() == 0.0
 
 
+def batch(n, **overrides):
+    base = row()
+    arrays = {
+        name: np.asarray([base[name]] * n) for name in ImpressionTable.field_names()
+    }
+    arrays.update(overrides)
+    return arrays
+
+
+class TestAddBatch:
+    def test_batch_then_build(self):
+        builder = ImpressionBuilder()
+        builder.add_batch(**batch(3, clicks=np.array([1.0, 2.0, 3.0])))
+        builder.add_batch(**batch(2))
+        assert len(builder) == 5
+        table = builder.build()
+        assert len(table) == 5
+        assert table.clicks[:3].tolist() == [1.0, 2.0, 3.0]
+        assert table.position.dtype == np.int16
+        assert table.mainline.dtype == bool
+
+    def test_interleaved_scalar_and_batch_preserves_order(self):
+        builder = ImpressionBuilder()
+        builder.add(**row(day=1.0))
+        builder.add_batch(**batch(2, day=np.array([2.0, 3.0])))
+        builder.add(**row(day=4.0))
+        assert len(builder) == 4
+        table = builder.build()
+        assert table.day.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_empty_batch_is_noop(self):
+        builder = ImpressionBuilder()
+        builder.add_batch(**batch(0))
+        assert len(builder) == 0
+        assert len(builder.build()) == 0
+
+    def test_ragged_batch_rejected(self):
+        builder = ImpressionBuilder()
+        arrays = batch(3, clicks=np.array([1.0, 2.0]))
+        with pytest.raises(RecordError):
+            builder.add_batch(**arrays)
+
+    def test_missing_field_rejected(self):
+        builder = ImpressionBuilder()
+        arrays = batch(2)
+        del arrays["spend"]
+        with pytest.raises(RecordError):
+            builder.add_batch(**arrays)
+
+
 class TestTable:
     def test_ragged_rejected(self):
         table = build_table([row(), row(day=2.0)])

@@ -113,3 +113,42 @@ class TestMarketIndex:
         assert market.n_offers == 0
         assert not market.live_mask(1.0, rng).any()
         assert market.day_buckets(1.0, rng).buckets == {}
+
+    def test_gather_matches_lookup(self):
+        market = MarketIndex(build_accounts(n=5))
+        market.participation[:] = 1.0
+        rng = np.random.Generator(np.random.PCG64(0))
+        buckets = market.day_buckets(10.0, rng)
+        # Every real key, one missing key, in shuffled order.
+        keys = np.concatenate([buckets.keys, [buckets.keys.max() + 1]])
+        shuffle = np.random.Generator(np.random.PCG64(1)).permutation(len(keys))
+        keys = keys[shuffle]
+        rows, key_index = buckets.gather(keys)
+        assert len(rows) == len(key_index)
+        assert len(rows) == len(buckets.rows)  # missing key contributes nothing
+        for position in np.unique(key_index):
+            expected = buckets.buckets[int(keys[position])]
+            got = rows[key_index == position]
+            np.testing.assert_array_equal(got, expected)
+
+    def test_gather_empty_inputs(self):
+        market = MarketIndex(build_accounts(n=3))
+        market.participation[:] = 1.0
+        rng = np.random.Generator(np.random.PCG64(0))
+        buckets = market.day_buckets(10.0, rng)
+        rows, key_index = buckets.gather(np.zeros(0, dtype=np.int64))
+        assert rows.size == 0 and key_index.size == 0
+        empty = market.day_buckets(60.0, rng)  # after activity end
+        rows, key_index = empty.gather(np.array([1, 2, 3], dtype=np.int64))
+        assert rows.size == 0 and key_index.size == 0
+
+    def test_gather_all_misses(self):
+        market = MarketIndex(build_accounts(n=3))
+        market.participation[:] = 1.0
+        rng = np.random.Generator(np.random.PCG64(0))
+        buckets = market.day_buckets(10.0, rng)
+        missing = np.array(
+            [buckets.keys.max() + 1, buckets.keys.max() + 2], dtype=np.int64
+        )
+        rows, key_index = buckets.gather(missing)
+        assert rows.size == 0 and key_index.size == 0
