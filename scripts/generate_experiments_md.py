@@ -95,12 +95,12 @@ PAPER_TARGETS: dict[str, dict[str, str]] = {
 }
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--small", action="store_true")
     parser.add_argument("-o", "--output", type=Path,
                         default=Path("EXPERIMENTS.md"))
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
     config = small_config() if args.small else default_config()
     context = ExperimentContext(config)
 

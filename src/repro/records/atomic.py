@@ -1,0 +1,98 @@
+"""Atomic, durable file writes.
+
+Every on-disk artifact in this package (CSV/JSONL datasets, checkpoint
+manifests, impression chunks) is written with the same crash-safe
+protocol: write the full payload to ``<name>.tmp`` in the destination
+directory, flush and ``fsync`` the file, then ``os.replace`` it over the
+destination and ``fsync`` the directory.  A crash at any point leaves
+either the old file or the new file -- never a truncated hybrid.  The
+checkpoint runner (:mod:`repro.runner`) builds its recovery guarantees
+on exactly this property.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+__all__ = [
+    "atomic_writer",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_dir",
+    "sha256_bytes",
+    "sha256_file",
+]
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Best-effort fsync of a directory (persists renames within it)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_writer(
+    path: str | Path, mode: str = "w", newline: str | None = None
+) -> Iterator[IO]:
+    """Context manager yielding a handle whose contents land atomically.
+
+    On clean exit the temporary file is fsynced and renamed over
+    ``path``; on any exception it is removed and ``path`` is untouched.
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_writer supports 'w'/'wb', not {mode!r}")
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    handle = open(tmp, mode, newline=newline)
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+    except BaseException:
+        handle.close()
+        tmp.unlink(missing_ok=True)
+        raise
+    handle.close()
+    os.replace(tmp, target)
+    fsync_dir(target.parent)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Atomically write ``data`` to ``path``."""
+    with atomic_writer(path, mode="wb") as handle:
+        handle.write(data)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Atomically write ``text`` to ``path``."""
+    with atomic_writer(path, mode="w") as handle:
+        handle.write(text)
+
+
+def sha256_bytes(data: bytes) -> str:
+    """Hex SHA-256 of a byte string."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path: str | Path, chunk_size: int = 1 << 20) -> str:
+    """Hex SHA-256 of a file's contents (streamed)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(chunk_size)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()

@@ -132,6 +132,28 @@ class ImpressionBuilder:
     def __len__(self) -> int:
         return self._chunk_rows + len(self._columns["day"])
 
+    def drain(self) -> dict[str, np.ndarray]:
+        """Remove and return every pending row as per-field arrays.
+
+        The checkpoint runner calls this at each checkpoint boundary to
+        persist the rows accumulated since the previous one; feeding the
+        returned mapping back through :meth:`add_batch` (in drain order)
+        reconstructs the original row stream exactly.
+        """
+        self._flush_scalar()
+        arrays = {
+            name: (
+                np.concatenate(self._chunks[name])
+                if self._chunks[name]
+                else np.zeros(0, dtype=dtype)
+            )
+            for name, dtype in _FIELDS
+        }
+        for chunks in self._chunks.values():
+            chunks.clear()
+        self._chunk_rows = 0
+        return arrays
+
     def build(self) -> "ImpressionTable":
         """Freeze the accumulated rows into numpy arrays."""
         self._flush_scalar()

@@ -1,4 +1,12 @@
-"""Dataset export/import (CSV for the impression table, JSONL for records)."""
+"""Dataset export/import (CSV for the impression table, JSONL for records).
+
+All writers are crash-safe: the payload is staged to ``<name>.tmp``,
+fsynced, and renamed over the destination (see
+:mod:`repro.records.atomic`), so an interrupted export never leaves a
+truncated CSV/JSONL behind.  All readers raise
+:class:`~repro.errors.RecordError` -- never raw ``csv``/``json``
+exceptions -- on malformed input.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +18,7 @@ from typing import Iterable
 import numpy as np
 
 from ..errors import RecordError
+from .atomic import atomic_writer
 from .impressions import ImpressionTable
 
 __all__ = [
@@ -21,9 +30,9 @@ __all__ = [
 
 
 def write_impressions_csv(table: ImpressionTable, path: str | Path) -> None:
-    """Write the impression table as CSV with a header row."""
+    """Write the impression table as CSV with a header row (atomically)."""
     names = table.field_names()
-    with open(path, "w", newline="") as handle:
+    with atomic_writer(path, newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(names)
         columns = [getattr(table, name) for name in names]
@@ -44,25 +53,43 @@ def read_impressions_csv(path: str | Path) -> ImpressionTable:
         if tuple(header) != ImpressionTable.field_names():
             raise RecordError(f"{path}: unexpected header {header}")
         rows = list(reader)
+    width = len(header)
+    for number, row in enumerate(rows, start=2):
+        if len(row) != width:
+            raise RecordError(
+                f"{path}: line {number} has {len(row)} fields, expected {width}"
+            )
     columns = list(zip(*rows)) if rows else [[] for _ in header]
     kwargs = {}
     for name, values in zip(header, columns):
         if name in ("mainline", "fraud_labeled"):
+            bad = [v for v in values if v not in ("0", "1")]
+            if bad:
+                raise RecordError(
+                    f"{path}: malformed boolean in column {name}: {bad[0]!r}"
+                )
             kwargs[name] = np.asarray([v == "1" for v in values], dtype=bool)
         elif name in ("day", "weight", "clicks", "spend", "price"):
-            kwargs[name] = np.asarray(values, dtype=float)
+            kwargs[name] = _column(path, name, values, float)
         else:
-            kwargs[name] = np.asarray(values, dtype=np.int64)
+            kwargs[name] = _column(path, name, values, np.int64)
     return ImpressionTable(**kwargs)
 
 
+def _column(path: str | Path, name: str, values, dtype) -> np.ndarray:
+    try:
+        return np.asarray(values, dtype=dtype)
+    except (ValueError, OverflowError) as exc:
+        raise RecordError(f"{path}: malformed column {name}: {exc}") from None
+
+
 def write_records_jsonl(records: Iterable, path: str | Path) -> int:
-    """Write records (objects with ``to_dict``) as JSON lines.
+    """Write records (objects with ``to_dict``) as JSON lines (atomically).
 
     Returns the number of records written.
     """
     count = 0
-    with open(path, "w") as handle:
+    with atomic_writer(path) as handle:
         for record in records:
             handle.write(json.dumps(record.to_dict()) + "\n")
             count += 1
@@ -73,8 +100,25 @@ def read_records_jsonl(path: str | Path, factory) -> list:
     """Read JSONL records back through ``factory(**fields)``."""
     out = []
     with open(path) as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                out.append(factory(**json.loads(line)))
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise RecordError(
+                    f"{path}: line {number} is not valid JSON: {exc}"
+                ) from None
+            if not isinstance(payload, dict):
+                raise RecordError(
+                    f"{path}: line {number} is not a JSON object"
+                )
+            try:
+                out.append(factory(**payload))
+            except TypeError as exc:
+                raise RecordError(
+                    f"{path}: line {number} does not match "
+                    f"{getattr(factory, '__name__', factory)}: {exc}"
+                ) from None
     return out

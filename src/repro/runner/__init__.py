@@ -1,0 +1,24 @@
+"""Crash-safe checkpoint/resume runner with deterministic fault injection.
+
+:class:`CheckpointRunner` persists simulation progress at phase
+boundaries and per-N-day impression chunks, all written atomically, so
+a minutes-long full-scale run survives crashes and resumes
+bit-identically.  :class:`FaultPlan` injects crashes and corruption at
+exact, named points so every recovery path is testable.  CLI::
+
+    python -m repro.runner --checkpoint-dir RUNS/x [--resume]
+"""
+
+from .faults import Fault, FaultPlan, InjectedCrash
+from .manifest import ChunkEntry, RunManifest, config_sha256
+from .runner import CheckpointRunner
+
+__all__ = [
+    "CheckpointRunner",
+    "RunManifest",
+    "ChunkEntry",
+    "config_sha256",
+    "Fault",
+    "FaultPlan",
+    "InjectedCrash",
+]

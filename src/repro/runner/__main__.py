@@ -1,0 +1,103 @@
+"""CLI for the checkpointing run harness.
+
+Run a full simulation with durable checkpoints, or resume one that was
+interrupted::
+
+    python -m repro.runner --checkpoint-dir RUNS/x
+    python -m repro.runner --checkpoint-dir RUNS/x --resume
+
+The run directory carries everything needed to continue: see
+:mod:`repro.runner.runner` for the layout and recovery semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from ..config import default_config, small_config
+from ..errors import ReproError
+from ..records.atomic import atomic_write_text
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Run a simulation with crash-safe checkpoints.",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        required=True,
+        help="run directory holding MANIFEST.json, snapshots and chunks",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted run from its last durable checkpoint",
+    )
+    parser.add_argument(
+        "--small", action="store_true", help="use the fast test-scale config"
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--days", type=int, default=None)
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=7,
+        metavar="N",
+        help="persist an impression chunk every N simulated days",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="also write the validation report to this path",
+    )
+    args = parser.parse_args(argv)
+
+    config = small_config() if args.small else default_config()
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    if args.days is not None:
+        config = replace(config, days=args.days)
+
+    from .runner import CheckpointRunner
+
+    runner = CheckpointRunner(
+        config, args.checkpoint_dir, checkpoint_every=args.checkpoint_every
+    )
+    started = time.time()
+    try:
+        result = runner.run(resume=True if args.resume else False)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.time() - started
+    print(
+        f"simulated {config.days} days in {elapsed:.0f}s "
+        f"(run dir: {args.checkpoint_dir})"
+    )
+    print(
+        f"{len(result.accounts)} accounts, "
+        f"{len(result.impressions)} impression rows, "
+        f"{len(result.detections)} detections"
+    )
+    if args.report is not None:
+        from ..validation import render_report, run_validation
+
+        try:
+            report = render_report(run_validation(result))
+        except ReproError as exc:
+            print(f"error: validation failed: {exc}", file=sys.stderr)
+            return 2
+        atomic_write_text(args.report, report + "\n")
+        print(f"wrote {args.report}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

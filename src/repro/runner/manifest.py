@@ -1,0 +1,190 @@
+"""The run-directory manifest.
+
+One JSON document (``MANIFEST.json``) is the single source of truth for
+what a run directory durably contains: the configuration hash the run
+was started with, the package version, a SHA-256 checksum for every
+artifact, the per-chunk impression index, and the serialized
+``bit_generator`` states of all five named RNG streams at each
+checkpoint.  The manifest is always rewritten atomically *after* the
+artifacts it references are durable, so resume can trust exactly what
+it lists and nothing else.
+
+PCG64 states are plain nested dicts of ints, so they round-trip through
+JSON losslessly -- restoring them reproduces the exact draw sequence,
+which is what makes a resumed run bit-identical to an uninterrupted
+one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .._version import __version__
+from ..config import SimulationConfig
+from ..errors import SimulationError
+from ..records.atomic import atomic_write_text
+
+__all__ = [
+    "MANIFEST_NAME",
+    "MANIFEST_FORMAT",
+    "ChunkEntry",
+    "RunManifest",
+    "config_sha256",
+]
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_FORMAT = "repro-run/1"
+
+#: Phases a run directory can durably be in.  ``phase1`` means the
+#: population is still being generated (nothing durable yet beyond the
+#: manifest itself); ``phase3`` means population + market snapshots are
+#: durable and auction chunks are accumulating; ``complete`` means the
+#: run finished.
+PHASES = ("phase1", "phase3", "complete")
+
+
+def config_sha256(config: SimulationConfig) -> str:
+    """Stable hash of the full configuration (all knobs, seed, days)."""
+    payload = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ChunkEntry:
+    """One durable impression chunk covering days [day_start, day_end)."""
+
+    file: str
+    sha256: str
+    day_start: int
+    day_end: int
+    rows: int
+    #: RNG states of all five streams *after* day ``day_end - 1`` --
+    #: restoring them resumes the simulation at ``day_end`` exactly.
+    rng_after: dict
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChunkEntry":
+        try:
+            return cls(
+                file=str(payload["file"]),
+                sha256=str(payload["sha256"]),
+                day_start=int(payload["day_start"]),
+                day_end=int(payload["day_end"]),
+                rows=int(payload["rows"]),
+                rng_after=dict(payload["rng_after"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(f"malformed chunk entry: {exc}") from None
+
+
+@dataclass
+class RunManifest:
+    """Durable progress record for one checkpointed run."""
+
+    config_sha256: str
+    seed: int
+    days: int
+    checkpoint_every: int
+    phase: str = "phase1"
+    format: str = MANIFEST_FORMAT
+    package_version: str = __version__
+    #: Relative artifact path -> hex SHA-256 (phase1/market snapshots).
+    artifacts: dict[str, str] = field(default_factory=dict)
+    #: RNG states at the start of Phase 3 (right after the market
+    #: snapshot became durable); the resume point when no chunk exists.
+    phase3_start_rng: dict | None = None
+    chunks: list[ChunkEntry] = field(default_factory=list)
+
+    @classmethod
+    def fresh(
+        cls, config: SimulationConfig, checkpoint_every: int
+    ) -> "RunManifest":
+        """Manifest for a run that has not generated anything yet."""
+        return cls(
+            config_sha256=config_sha256(config),
+            seed=config.seed,
+            days=config.days,
+            checkpoint_every=checkpoint_every,
+        )
+
+    @property
+    def next_day(self) -> int:
+        """First Phase-3 day not covered by a durable chunk."""
+        return self.chunks[-1].day_end if self.chunks else 0
+
+    def resume_rng(self) -> dict | None:
+        """RNG states to restore when resuming Phase 3."""
+        if self.chunks:
+            return self.chunks[-1].rng_after
+        return self.phase3_start_rng
+
+    def to_json(self) -> str:
+        payload = dataclasses.asdict(self)
+        payload["chunks"] = [chunk.to_dict() for chunk in self.chunks]
+        return json.dumps(payload, sort_keys=True, indent=1)
+
+    def save(self, path: str | Path) -> None:
+        """Atomically persist the manifest."""
+        atomic_write_text(path, self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        """Load and structurally validate a manifest.
+
+        Raises :class:`SimulationError` (never raw ``json`` errors) on
+        unreadable or malformed content.
+        """
+        try:
+            payload = json.loads(Path(path).read_text())
+        except OSError as exc:
+            raise SimulationError(f"cannot read manifest {path}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise SimulationError(
+                f"manifest {path} is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise SimulationError(f"manifest {path} is not a JSON object")
+        if payload.get("format") != MANIFEST_FORMAT:
+            raise SimulationError(
+                f"manifest {path} has format {payload.get('format')!r}, "
+                f"expected {MANIFEST_FORMAT!r}"
+            )
+        try:
+            manifest = cls(
+                config_sha256=str(payload["config_sha256"]),
+                seed=int(payload["seed"]),
+                days=int(payload["days"]),
+                checkpoint_every=int(payload["checkpoint_every"]),
+                phase=str(payload["phase"]),
+                format=str(payload["format"]),
+                package_version=str(payload["package_version"]),
+                artifacts=dict(payload["artifacts"]),
+                phase3_start_rng=payload.get("phase3_start_rng"),
+                chunks=[
+                    ChunkEntry.from_dict(chunk) for chunk in payload["chunks"]
+                ],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(f"malformed manifest {path}: {exc}") from None
+        if manifest.phase not in PHASES:
+            raise SimulationError(
+                f"manifest {path} has unknown phase {manifest.phase!r}"
+            )
+        previous_end = 0
+        for chunk in manifest.chunks:
+            if chunk.day_start != previous_end or chunk.day_end <= chunk.day_start:
+                raise SimulationError(
+                    f"manifest {path}: chunk index is not a contiguous "
+                    f"tiling of days (at {chunk.file})"
+                )
+            previous_end = chunk.day_end
+        return manifest

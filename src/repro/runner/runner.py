@@ -1,0 +1,324 @@
+"""Crash-safe checkpoint/resume orchestration of a full simulation.
+
+Run directory layout::
+
+    <run_dir>/
+      MANIFEST.json             config hash, checksums, chunk index, RNG states
+      phase1.pkl                population summaries + detection pipeline state
+      market.pkl                the Phase-2 MarketIndex snapshot
+      chunks/
+        chunk-00000-00007.npz   impression rows for days [0, 7), append-only
+        chunk-00007-00014.npz   ...
+
+Crash-consistency protocol: every artifact lands via tmp-file + fsync +
+``os.replace`` (:mod:`repro.records.atomic`), and ``MANIFEST.json`` is
+replaced only *after* the artifacts it references are durable.  A crash
+at any instant therefore leaves the directory in one of the states the
+resume path is written for:
+
+* no manifest, or manifest in phase ``phase1`` -- Phase 1 is re-run
+  from the seed (deterministic, so nothing is lost);
+* manifest in phase ``phase3`` -- population + market snapshots are
+  verified by checksum and reloaded, durable chunks are verified and
+  reloaded, the five RNG streams are restored from the last chunk's
+  recorded state, and the day loop continues at ``next_day``;
+* a chunk file that exists but is not in the manifest is a partial
+  write from the crash -- deleted and re-simulated;
+* the *tail* manifest chunk whose file is missing or fails its
+  checksum is discarded and its days are re-simulated (corrupt-tail
+  fallback); corruption anywhere earlier, or of the phase snapshots,
+  refuses with :class:`~repro.errors.SimulationError`;
+* a manifest whose config hash does not match the resuming
+  configuration refuses with :class:`~repro.errors.SimulationError`.
+
+Because every stochastic draw comes from the five named RNG streams and
+their ``bit_generator`` states are serialized at each checkpoint, an
+interrupted-and-resumed run is *bit-identical* to an uninterrupted run
+of the same seed -- the resume-determinism tests assert equality of the
+final impression table, detection records, and validation report.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..errors import ConfigError, SimulationError
+from ..records.atomic import atomic_write_bytes, sha256_bytes, sha256_file
+from ..records.impressions import ImpressionBuilder, ImpressionTable
+from ..simulator.engine import SimulationEngine
+from ..simulator.market import MarketIndex
+from ..simulator.results import SimulationResult
+from .faults import FaultPlan
+from .manifest import MANIFEST_NAME, ChunkEntry, RunManifest, config_sha256
+
+__all__ = ["CheckpointRunner", "PHASE1_NAME", "MARKET_NAME"]
+
+PHASE1_NAME = "phase1.pkl"
+MARKET_NAME = "market.pkl"
+CHUNK_DIR = "chunks"
+
+_CHUNK_FIELDS = set(ImpressionTable.field_names())
+
+
+class CheckpointRunner:
+    """Runs a simulation with durable checkpoints in a run directory."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        run_dir: str | Path,
+        checkpoint_every: int = 7,
+        faults: FaultPlan | None = None,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ConfigError("checkpoint_every must be >= 1")
+        self.config = config
+        self.run_dir = Path(run_dir)
+        self.checkpoint_every = checkpoint_every
+        self.manifest_path = self.run_dir / MANIFEST_NAME
+        self.chunk_dir = self.run_dir / CHUNK_DIR
+        self.phase1_path = self.run_dir / PHASE1_NAME
+        self.market_path = self.run_dir / MARKET_NAME
+        self._faults = faults if faults is not None else FaultPlan()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(self, resume: bool | str = "auto") -> SimulationResult:
+        """Run (or resume) the simulation to completion.
+
+        ``resume`` may be ``True`` (a manifest must exist), ``False``
+        (the directory must not contain one), or ``"auto"`` (resume if
+        a manifest exists, else start fresh).
+        """
+        has_manifest = self.manifest_path.exists()
+        if resume is True and not has_manifest:
+            raise SimulationError(
+                f"{self.run_dir}: nothing to resume (no {MANIFEST_NAME})"
+            )
+        if resume is False and has_manifest:
+            raise SimulationError(
+                f"{self.run_dir}: already contains a run; resume it or "
+                f"choose a fresh directory"
+            )
+        resuming = has_manifest
+
+        self.chunk_dir.mkdir(parents=True, exist_ok=True)
+        engine = SimulationEngine(self.config)
+        if resuming:
+            manifest = RunManifest.load(self.manifest_path)
+            self._check_compatible(manifest)
+            manifest.checkpoint_every = self.checkpoint_every
+        else:
+            manifest = RunManifest.fresh(self.config, self.checkpoint_every)
+            manifest.save(self.manifest_path)
+
+        if manifest.phase == "phase1":
+            summaries, market = self._run_phase1(engine, manifest)
+        else:
+            summaries, market = self._load_phase1(engine, manifest)
+
+        chunks = self._validate_chunks(manifest)
+        if manifest.phase != "complete":
+            states = manifest.resume_rng()
+            if states is None:
+                raise SimulationError(
+                    f"{self.manifest_path}: no RNG snapshot to resume from"
+                )
+            engine.set_rng_state(states)
+            chunks += self._run_phase3(engine, market, manifest)
+            self._faults.fire("finalize", runner=self)
+            manifest.phase = "complete"
+            manifest.save(self.manifest_path)
+
+        builder = ImpressionBuilder()
+        for chunk in chunks:
+            if len(chunk["day"]):
+                builder.add_batch(**chunk)
+        return SimulationResult(
+            config=self.config,
+            accounts=summaries,
+            impressions=builder.build(),
+            detections=list(engine.pipeline.records),
+            policy_changes=list(engine.pipeline.policy.changes),
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1 + 2: population and market snapshots
+    # ------------------------------------------------------------------
+
+    def _check_compatible(self, manifest: RunManifest) -> None:
+        expected = config_sha256(self.config)
+        if manifest.config_sha256 != expected:
+            raise SimulationError(
+                f"{self.manifest_path}: config hash mismatch -- the run "
+                f"directory was created with a different configuration "
+                f"({manifest.config_sha256[:12]}... != {expected[:12]}...); "
+                f"refusing to resume"
+            )
+        from .._version import __version__
+
+        if manifest.package_version != __version__:
+            print(
+                f"warning: resuming a run written by repro "
+                f"{manifest.package_version} with repro {__version__}",
+                file=sys.stderr,
+            )
+
+    def _run_phase1(
+        self, engine: SimulationEngine, manifest: RunManifest
+    ) -> tuple[list, MarketIndex]:
+        def on_day(day: int) -> None:
+            self._faults.fire("phase1:day", day=day, runner=self)
+
+        accounts, summaries = engine.generate_population(on_day_complete=on_day)
+        market = MarketIndex(accounts)
+        market.country_volume_check()
+
+        phase1_blob = pickle.dumps(
+            {
+                "summaries": summaries,
+                "pipeline": engine.pipeline,
+                "ids": engine._ids,
+                "next_advertiser_id": engine._next_advertiser_id,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        market_blob = pickle.dumps(market, protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write_bytes(self.phase1_path, phase1_blob)
+        atomic_write_bytes(self.market_path, market_blob)
+        manifest.artifacts = {
+            PHASE1_NAME: sha256_bytes(phase1_blob),
+            MARKET_NAME: sha256_bytes(market_blob),
+        }
+        manifest.phase3_start_rng = engine.rng_state()
+        manifest.phase = "phase3"
+        manifest.save(self.manifest_path)
+        self._faults.fire("phase1:end", runner=self)
+        return summaries, market
+
+    def _load_phase1(
+        self, engine: SimulationEngine, manifest: RunManifest
+    ) -> tuple[list, MarketIndex]:
+        for name, path in ((PHASE1_NAME, self.phase1_path), (MARKET_NAME, self.market_path)):
+            recorded = manifest.artifacts.get(name)
+            if recorded is None:
+                raise SimulationError(
+                    f"{self.manifest_path}: missing checksum for {name}"
+                )
+            if not path.exists() or sha256_file(path) != recorded:
+                raise SimulationError(
+                    f"{path}: snapshot missing or fails its checksum; the "
+                    f"run directory is damaged beyond the recoverable tail"
+                )
+        state = pickle.loads(self.phase1_path.read_bytes())
+        engine.pipeline = state["pipeline"]
+        engine._ids = state["ids"]
+        engine._next_advertiser_id = state["next_advertiser_id"]
+        market = pickle.loads(self.market_path.read_bytes())
+        return state["summaries"], market
+
+    # ------------------------------------------------------------------
+    # Phase 3: chunked auctions
+    # ------------------------------------------------------------------
+
+    def _chunk_path(self, day_start: int, day_end: int) -> Path:
+        return self.chunk_dir / f"chunk-{day_start:05d}-{day_end:05d}.npz"
+
+    def _validate_chunks(self, manifest: RunManifest) -> list[dict]:
+        """Verify and load every durable chunk, pruning a corrupt tail.
+
+        Returns the loaded per-chunk field arrays in day order.  A
+        missing/corrupt *tail* chunk of an incomplete run is discarded
+        (its days will be re-simulated); any earlier damage -- or any
+        damage at all in a ``complete`` run -- raises.
+        """
+        loaded: list[dict] = []
+        for index, entry in enumerate(manifest.chunks):
+            path = self.run_dir / entry.file
+            intact = path.exists() and sha256_file(path) == entry.sha256
+            if intact:
+                with np.load(path) as archive:
+                    if set(archive.files) != _CHUNK_FIELDS:
+                        intact = False
+                    else:
+                        loaded.append(
+                            {name: archive[name] for name in archive.files}
+                        )
+            if intact:
+                continue
+            is_tail = index == len(manifest.chunks) - 1
+            if is_tail and manifest.phase != "complete":
+                manifest.chunks.pop()
+                manifest.save(self.manifest_path)
+                path.unlink(missing_ok=True)
+                break
+            raise SimulationError(
+                f"{path}: chunk missing or fails its checksum and is not "
+                f"a discardable tail; refusing to resume"
+            )
+        # Partial writes from a crash (files the manifest never saw).
+        keep = {(self.run_dir / entry.file).name for entry in manifest.chunks}
+        for stray in self.chunk_dir.iterdir():
+            if stray.name not in keep:
+                stray.unlink()
+        return loaded
+
+    def _run_phase3(
+        self,
+        engine: SimulationEngine,
+        market: MarketIndex,
+        manifest: RunManifest,
+    ) -> list[dict]:
+        days = self.config.days
+        start_day = manifest.next_day
+        builder = ImpressionBuilder()
+        collected: list[dict] = []
+        pending_start = start_day
+
+        def on_day(day: int) -> None:
+            nonlocal pending_start
+            self._faults.fire("phase3:day", day=day, runner=self)
+            if day + 1 - pending_start >= self.checkpoint_every or day + 1 == days:
+                chunk = builder.drain()
+                self._write_chunk(engine, manifest, chunk, pending_start, day + 1)
+                collected.append(chunk)
+                pending_start = day + 1
+                self._faults.fire("phase3:checkpoint", day=day, runner=self)
+
+        engine.run_auctions(
+            market, builder, start_day=start_day, on_day_complete=on_day
+        )
+        return collected
+
+    def _write_chunk(
+        self,
+        engine: SimulationEngine,
+        manifest: RunManifest,
+        chunk: dict,
+        day_start: int,
+        day_end: int,
+    ) -> None:
+        path = self._chunk_path(day_start, day_end)
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **chunk)
+        data = buffer.getvalue()
+        atomic_write_bytes(path, data)
+        manifest.chunks.append(
+            ChunkEntry(
+                file=f"{CHUNK_DIR}/{path.name}",
+                sha256=sha256_bytes(data),
+                day_start=day_start,
+                day_end=day_end,
+                rows=int(len(chunk["day"])),
+                rng_after=engine.rng_state(),
+            )
+        )
+        manifest.save(self.manifest_path)

@@ -4,17 +4,70 @@ Experiments and benchmarks share simulations: every figure of a paper
 section is computed from the same underlying logs.  The cache keys on
 the full configuration, so ablations (which modify the config) get
 their own runs.
+
+The cache is a bounded LRU: full-scale results hold multi-million-row
+impression tables, so an unbounded dict would grow without limit across
+a long ablation sweep.  Capacity defaults to
+:data:`DEFAULT_CACHE_CAPACITY`, can be set at import time via the
+``REPRO_SIM_CACHE_SIZE`` environment variable, and at runtime via
+:func:`set_cache_capacity`.  Least-recently-*used* entries are evicted
+(a cache hit refreshes recency).
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
+
 from ..config import SimulationConfig
+from ..errors import ConfigError
 from .engine import run_simulation
 from .results import SimulationResult
 
-__all__ = ["cached_simulation", "clear_cache"]
+__all__ = [
+    "DEFAULT_CACHE_CAPACITY",
+    "cached_simulation",
+    "clear_cache",
+    "seed_cache",
+    "set_cache_capacity",
+]
 
-_CACHE: dict[SimulationConfig, SimulationResult] = {}
+#: Default number of simulation results kept alive.
+DEFAULT_CACHE_CAPACITY = 8
+
+_CACHE: OrderedDict[SimulationConfig, SimulationResult] = OrderedDict()
+
+
+def _initial_capacity() -> int:
+    raw = os.environ.get("REPRO_SIM_CACHE_SIZE")
+    if raw is None:
+        return DEFAULT_CACHE_CAPACITY
+    try:
+        capacity = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_SIM_CACHE_SIZE must be an integer, got {raw!r}"
+        ) from None
+    if capacity < 1:
+        raise ConfigError("REPRO_SIM_CACHE_SIZE must be >= 1")
+    return capacity
+
+
+_capacity = _initial_capacity()
+
+
+def _evict() -> None:
+    while len(_CACHE) > _capacity:
+        _CACHE.popitem(last=False)
+
+
+def set_cache_capacity(capacity: int) -> None:
+    """Change the cache bound; evicts oldest entries if shrinking."""
+    global _capacity
+    if capacity < 1:
+        raise ConfigError("cache capacity must be >= 1")
+    _capacity = capacity
+    _evict()
 
 
 def cached_simulation(config: SimulationConfig) -> SimulationResult:
@@ -23,7 +76,21 @@ def cached_simulation(config: SimulationConfig) -> SimulationResult:
     if result is None:
         result = run_simulation(config)
         _CACHE[config] = result
+        _evict()
+    else:
+        _CACHE.move_to_end(config)
     return result
+
+
+def seed_cache(config: SimulationConfig, result: SimulationResult) -> None:
+    """Insert an externally produced result (e.g. a checkpointed run).
+
+    Lets the experiment harness reuse a simulation that the checkpoint
+    runner already materialized instead of re-running it.
+    """
+    _CACHE[config] = result
+    _CACHE.move_to_end(config)
+    _evict()
 
 
 def clear_cache() -> None:

@@ -41,6 +41,7 @@ from ..config import SimulationConfig
 from ..detection.pipeline import DetectionOutcome, DetectionPipeline
 from ..entities.advertiser import Advertiser
 from ..entities.enums import ShutdownReason
+from ..errors import SimulationError
 from ..records.codes import match_code, match_type_from_code
 from ..records.impressions import ImpressionBuilder
 from ..rng import stream
@@ -51,7 +52,19 @@ from .querygen import QuerySampler, match_table
 from .registration import FraudShareSchedule, sample_daily_counts
 from .results import AccountSummary, SimulationResult
 
-__all__ = ["SimulationEngine", "run_simulation"]
+__all__ = ["RNG_STREAMS", "SimulationEngine", "run_simulation"]
+
+#: The five named RNG streams every run draws from, in a stable order.
+#: The checkpoint runner serializes the ``bit_generator`` state of each
+#: one at every checkpoint; restoring them is what makes an
+#: interrupted-and-resumed run bit-identical to an uninterrupted one.
+RNG_STREAMS: tuple[str, ...] = (
+    "population",
+    "detection",
+    "market",
+    "queries",
+    "clicks",
+)
 
 #: Mean days before a legitimate account goes dormant (stops running
 #: campaigns) -- keeps the active population roughly stationary.
@@ -84,6 +97,37 @@ class SimulationEngine:
         #: batched path needs no memo: it reads the arrays precomputed
         #: by :meth:`repro.simulator.querygen.MatchTable.eligible_arrays`.
         self._eligible_memo: dict[tuple[int, int, bool, bool], list] = {}
+
+    # ------------------------------------------------------------------
+    # RNG stream state (checkpoint/resume support)
+    # ------------------------------------------------------------------
+
+    def _streams(self) -> dict[str, np.random.Generator]:
+        return {
+            "population": self._rng_population,
+            "detection": self._rng_detection,
+            "market": self._rng_market,
+            "queries": self._rng_queries,
+            "clicks": self._rng_clicks,
+        }
+
+    def rng_state(self) -> dict[str, dict]:
+        """JSON-serializable ``bit_generator`` states of all five streams."""
+        return {
+            name: gen.bit_generator.state
+            for name, gen in self._streams().items()
+        }
+
+    def set_rng_state(self, states: dict[str, dict]) -> None:
+        """Restore stream states captured by :meth:`rng_state`."""
+        streams = self._streams()
+        if set(states) != set(streams):
+            raise SimulationError(
+                f"rng state must cover streams {sorted(streams)}, "
+                f"got {sorted(states)}"
+            )
+        for name, generator in streams.items():
+            generator.bit_generator.state = states[name]
 
     # ------------------------------------------------------------------
     # Phase 1: population
@@ -263,8 +307,15 @@ class SimulationEngine:
 
     def generate_population(
         self,
+        on_day_complete=None,
     ) -> tuple[list[MaterializedAccount], list[AccountSummary]]:
-        """Phase 1: create every account with its detection outcome."""
+        """Phase 1: create every account with its detection outcome.
+
+        ``on_day_complete(day)``, if given, is invoked after each day's
+        registrations are fully generated -- the checkpoint runner's
+        instrumentation point for progress reporting and fault
+        injection.
+        """
         config = self.config
         rng = self._rng_population
         schedule = FraudShareSchedule(config.population, config.days, rng)
@@ -296,6 +347,8 @@ class SimulationEngine:
                 )
                 accounts.append(account)
                 summaries.append(summary)
+            if on_day_complete is not None:
+                on_day_complete(day)
         return accounts, summaries
 
     # ------------------------------------------------------------------
@@ -314,7 +367,11 @@ class SimulationEngine:
         return pairs
 
     def run_auctions(
-        self, market: MarketIndex, builder: ImpressionBuilder
+        self,
+        market: MarketIndex,
+        builder: ImpressionBuilder,
+        start_day: int = 0,
+        on_day_complete=None,
     ) -> None:
         """Phase 3: the daily auction loop, array-native.
 
@@ -325,93 +382,124 @@ class SimulationEngine:
         one vectorized Poisson call over the same lambda sequence the
         scalar loop would draw one by one (numpy ``Generator`` draws
         are stream-equivalent either way).
+
+        ``start_day`` resumes the loop at a given day: all RNG draws
+        happen inside the day body, so a caller that restores the
+        stream states captured after day ``start_day - 1`` (see
+        :meth:`rng_state`) continues the exact draw sequence of an
+        uninterrupted run.  ``on_day_complete(day)`` fires after each
+        day's rows are in ``builder`` -- including days that produced
+        no rows -- which is where the checkpoint runner persists
+        progress.
         """
         config = self.config
+        if not 0 <= start_day <= config.days:
+            raise SimulationError(
+                f"start_day {start_day} outside [0, {config.days}]"
+            )
         sampler = QuerySampler(config.query)
-        cells = sampler.cells
-        rng_clicks = self._rng_clicks
         auction_config = config.auction
         exam_table = examination_table(config.click, auction_config.total_slots)
         tables = [match_table(v.name) for v in VERTICALS]
-        for day in range(config.days):
-            time = day + 0.5
-            buckets = market.day_buckets(time, self._rng_market)
-            if len(buckets) == 0:
-                continue
-            queries = sampler.sample_day(self._rng_queries)
-            n_queries = len(queries)
-            weight = np.empty(n_queries, dtype=np.float64)
-            vertical = np.empty(n_queries, dtype=np.int16)
-            country = np.empty(n_queries, dtype=np.int16)
-            cell_ids = np.empty(n_queries, dtype=np.int64)
-            counts = np.zeros(n_queries, dtype=np.int64)
-            kw_chunks: list[np.ndarray] = []
-            mcode_chunks: list[np.ndarray] = []
-            for seg, query in enumerate(queries):
-                weight[seg] = query.weight
-                vertical[seg] = query.vertical
-                country[seg] = query.country
-                cell_ids[seg] = cells.cell_of(query.vertical, query.country)
-                kws, mcodes = tables[query.vertical].eligible_arrays(
-                    query.seed_index, query.decorated, query.shuffled
-                )
-                if len(kws):
-                    counts[seg] = len(kws)
-                    kw_chunks.append(kws)
-                    mcode_chunks.append(mcodes)
-            if not kw_chunks:
-                continue
-            # One flat (cell, keyword, match) key array for the whole
-            # day's query stream, resolved in a single bucket gather.
-            kw_all = np.concatenate(kw_chunks)
-            mcode_all = np.concatenate(mcode_chunks)
-            query_of_key = np.repeat(np.arange(n_queries), counts)
-            keys = bucket_keys(np.repeat(cell_ids, counts), kw_all, mcode_all)
-            rows, key_index = buckets.gather(keys)
-            if rows.size == 0:
-                continue
-            segments = query_of_key[key_index]
-            mcode = mcode_all[key_index]
-            result = run_auction_batch(
-                segments,
-                market.advertiser_id[rows],
-                market.ad_id[rows],
-                market.max_bid[rows],
-                market.quality[rows],
-                market.fraud_labeled[rows],
-                auction_config,
-                n_queries,
+        for day in range(start_day, config.days):
+            self._run_auction_day(
+                day, market, builder, sampler, exam_table, tables
             )
-            if len(result) == 0:
-                continue
-            shown_rows = rows[result.candidate_index]
-            shown_seg = result.segment
-            examine = exam_table[
-                result.mainline.astype(np.intp), result.position
-            ]
-            p_click = np.minimum(1.0, examine * market.quality[shown_rows])
-            lam = weight[shown_seg] * p_click
-            clicks = np.zeros(len(lam), dtype=np.float64)
-            positive = np.flatnonzero(lam > 0)
-            if positive.size:
-                clicks[positive] = rng_clicks.poisson(lam[positive])
-            builder.add_batch(
-                day=np.full(len(lam), time),
-                advertiser_id=market.advertiser_id[shown_rows],
-                ad_id=market.ad_id[shown_rows],
-                vertical=vertical[shown_seg],
-                country=country[shown_seg],
-                match_type=mcode[result.candidate_index],
-                position=result.position,
-                mainline=result.mainline,
-                weight=weight[shown_seg],
-                clicks=clicks,
-                spend=clicks * result.price,
-                price=result.price,
-                n_shown=result.n_shown[shown_seg],
-                n_fraud_shown=result.n_fraud_shown[shown_seg],
-                fraud_labeled=market.fraud_labeled[shown_rows],
+            if on_day_complete is not None:
+                on_day_complete(day)
+
+    def _run_auction_day(
+        self,
+        day: int,
+        market: MarketIndex,
+        builder: ImpressionBuilder,
+        sampler: QuerySampler,
+        exam_table: np.ndarray,
+        tables: list,
+    ) -> None:
+        """One day of the batched auction loop (body of Phase 3)."""
+        config = self.config
+        cells = sampler.cells
+        rng_clicks = self._rng_clicks
+        auction_config = config.auction
+        time = day + 0.5
+        buckets = market.day_buckets(time, self._rng_market)
+        if len(buckets) == 0:
+            return
+        queries = sampler.sample_day(self._rng_queries)
+        n_queries = len(queries)
+        weight = np.empty(n_queries, dtype=np.float64)
+        vertical = np.empty(n_queries, dtype=np.int16)
+        country = np.empty(n_queries, dtype=np.int16)
+        cell_ids = np.empty(n_queries, dtype=np.int64)
+        counts = np.zeros(n_queries, dtype=np.int64)
+        kw_chunks: list[np.ndarray] = []
+        mcode_chunks: list[np.ndarray] = []
+        for seg, query in enumerate(queries):
+            weight[seg] = query.weight
+            vertical[seg] = query.vertical
+            country[seg] = query.country
+            cell_ids[seg] = cells.cell_of(query.vertical, query.country)
+            kws, mcodes = tables[query.vertical].eligible_arrays(
+                query.seed_index, query.decorated, query.shuffled
             )
+            if len(kws):
+                counts[seg] = len(kws)
+                kw_chunks.append(kws)
+                mcode_chunks.append(mcodes)
+        if not kw_chunks:
+            return
+        # One flat (cell, keyword, match) key array for the whole
+        # day's query stream, resolved in a single bucket gather.
+        kw_all = np.concatenate(kw_chunks)
+        mcode_all = np.concatenate(mcode_chunks)
+        query_of_key = np.repeat(np.arange(n_queries), counts)
+        keys = bucket_keys(np.repeat(cell_ids, counts), kw_all, mcode_all)
+        rows, key_index = buckets.gather(keys)
+        if rows.size == 0:
+            return
+        segments = query_of_key[key_index]
+        mcode = mcode_all[key_index]
+        result = run_auction_batch(
+            segments,
+            market.advertiser_id[rows],
+            market.ad_id[rows],
+            market.max_bid[rows],
+            market.quality[rows],
+            market.fraud_labeled[rows],
+            auction_config,
+            n_queries,
+        )
+        if len(result) == 0:
+            return
+        shown_rows = rows[result.candidate_index]
+        shown_seg = result.segment
+        examine = exam_table[
+            result.mainline.astype(np.intp), result.position
+        ]
+        p_click = np.minimum(1.0, examine * market.quality[shown_rows])
+        lam = weight[shown_seg] * p_click
+        clicks = np.zeros(len(lam), dtype=np.float64)
+        positive = np.flatnonzero(lam > 0)
+        if positive.size:
+            clicks[positive] = rng_clicks.poisson(lam[positive])
+        builder.add_batch(
+            day=np.full(len(lam), time),
+            advertiser_id=market.advertiser_id[shown_rows],
+            ad_id=market.ad_id[shown_rows],
+            vertical=vertical[shown_seg],
+            country=country[shown_seg],
+            match_type=mcode[result.candidate_index],
+            position=result.position,
+            mainline=result.mainline,
+            weight=weight[shown_seg],
+            clicks=clicks,
+            spend=clicks * result.price,
+            price=result.price,
+            n_shown=result.n_shown[shown_seg],
+            n_fraud_shown=result.n_fraud_shown[shown_seg],
+            fraud_labeled=market.fraud_labeled[shown_rows],
+        )
 
     def run_auctions_scalar(
         self, market: MarketIndex, builder: ImpressionBuilder

@@ -1,0 +1,58 @@
+"""Shared fixtures for the checkpoint-runner tests.
+
+One small-but-nontrivial configuration is simulated once per session
+(uninterrupted, in memory); every resume test compares against it
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import run_simulation, small_config
+from repro.validation import render_report, run_validation
+
+
+def assert_results_identical(expected, actual):
+    """Byte-level equality of two simulation results.
+
+    Compares every impression column (values *and* dtype), the
+    detection records, the policy timeline, and the account summaries'
+    identity-bearing fields.
+    """
+    assert len(actual.impressions) == len(expected.impressions)
+    for name in expected.impressions.field_names():
+        want = getattr(expected.impressions, name)
+        got = getattr(actual.impressions, name)
+        assert got.dtype == want.dtype, name
+        assert np.array_equal(got, want), f"column {name} differs"
+    assert actual.detections == expected.detections
+    assert actual.policy_changes == expected.policy_changes
+    assert len(actual.accounts) == len(expected.accounts)
+    for mine, theirs in zip(actual.accounts, expected.accounts):
+        assert mine.advertiser_id == theirs.advertiser_id
+        assert mine.labeled_fraud == theirs.labeled_fraud
+        assert mine.shutdown_time == theirs.shutdown_time
+        assert mine.activity_end == theirs.activity_end
+
+#: Big enough for the validation suite's subsets, small enough to run
+#: in a few seconds.
+RUNNER_SEED = 11
+RUNNER_DAYS = 40
+
+
+@pytest.fixture(scope="session")
+def runner_config():
+    return small_config(seed=RUNNER_SEED, days=RUNNER_DAYS)
+
+
+@pytest.fixture(scope="session")
+def baseline(runner_config):
+    """The uninterrupted same-seed run every resume must reproduce."""
+    return run_simulation(runner_config)
+
+
+@pytest.fixture(scope="session")
+def baseline_report(baseline):
+    return render_report(run_validation(baseline))

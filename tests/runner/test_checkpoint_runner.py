@@ -1,0 +1,90 @@
+"""Checkpoint runner basics: fresh runs, run-dir layout, guard rails."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.runner import CheckpointRunner, RunManifest
+from repro.simulator.engine import RNG_STREAMS
+
+from .conftest import RUNNER_DAYS, assert_results_identical
+
+CHECKPOINT_EVERY = 6
+
+
+@pytest.fixture(scope="module")
+def completed_run(tmp_path_factory, runner_config):
+    """One checkpointed run shared by the read-only tests below."""
+    run_dir = tmp_path_factory.mktemp("completed-run")
+    runner = CheckpointRunner(
+        runner_config, run_dir, checkpoint_every=CHECKPOINT_EVERY
+    )
+    result = runner.run(resume=False)
+    return runner, result
+
+
+class TestFreshRun:
+    def test_matches_in_memory_simulation(self, completed_run, baseline):
+        _, result = completed_run
+        assert_results_identical(baseline, result)
+
+    def test_run_directory_layout(self, completed_run):
+        runner, _ = completed_run
+        assert runner.manifest_path.exists()
+        assert runner.phase1_path.exists()
+        assert runner.market_path.exists()
+        chunks = sorted(runner.chunk_dir.iterdir())
+        assert len(chunks) == math.ceil(RUNNER_DAYS / CHECKPOINT_EVERY)
+        assert all(p.suffix == ".npz" for p in chunks)
+
+    def test_manifest_is_complete_and_checksummed(self, completed_run):
+        runner, _ = completed_run
+        manifest = RunManifest.load(runner.manifest_path)
+        assert manifest.phase == "complete"
+        assert set(manifest.artifacts) == {"phase1.pkl", "market.pkl"}
+        assert all(len(sha) == 64 for sha in manifest.artifacts.values())
+        assert manifest.next_day == RUNNER_DAYS
+        for chunk in manifest.chunks:
+            assert set(chunk.rng_after) == set(RNG_STREAMS)
+
+    def test_completed_run_reloads_without_resimulating(
+        self, completed_run, runner_config, baseline
+    ):
+        runner, _ = completed_run
+        # Tamper-proof probe: a reload must not touch phase 3 again, so
+        # an impossible fault plan on the phase3 sites must never fire.
+        from repro.runner import FaultPlan
+
+        plan = FaultPlan.crash_at("phase3:day")
+        again = CheckpointRunner(
+            runner_config,
+            runner.run_dir,
+            checkpoint_every=CHECKPOINT_EVERY,
+            faults=plan,
+        ).run(resume=True)
+        assert plan.pending  # never reached phase 3
+        assert_results_identical(baseline, again)
+
+
+class TestGuardRails:
+    def test_checkpoint_every_must_be_positive(self, runner_config, tmp_path):
+        with pytest.raises(ConfigError):
+            CheckpointRunner(runner_config, tmp_path, checkpoint_every=0)
+
+    def test_fresh_refuses_existing_run(self, completed_run, runner_config):
+        runner, _ = completed_run
+        with pytest.raises(SimulationError, match="already contains a run"):
+            CheckpointRunner(runner_config, runner.run_dir).run(resume=False)
+
+    def test_resume_requires_manifest(self, runner_config, tmp_path):
+        with pytest.raises(SimulationError, match="nothing to resume"):
+            CheckpointRunner(runner_config, tmp_path / "void").run(resume=True)
+
+    def test_resume_refuses_different_config(
+        self, completed_run, runner_config
+    ):
+        runner, _ = completed_run
+        other = runner_config.with_auction(mainline_slots=3)
+        with pytest.raises(SimulationError, match="config hash mismatch"):
+            CheckpointRunner(other, runner.run_dir).run(resume=True)

@@ -1,0 +1,120 @@
+"""Acceptance: interrupted-and-resumed runs are byte-identical.
+
+Each scenario kills a checkpointed run at a distinct point via a
+deterministic :class:`FaultPlan` -- mid-Phase-1, mid-Phase-3 before a
+checkpoint, and *after* a durable checkpoint whose tail chunk is then
+corrupted -- resumes it, and asserts the final impression table,
+detection records, and rendered validation report are byte-identical to
+the uninterrupted same-seed run.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runner import CheckpointRunner, Fault, FaultPlan, InjectedCrash
+from repro.validation import render_report, run_validation
+
+from .conftest import assert_results_identical
+
+CHECKPOINT_EVERY = 5
+
+#: Distinct interruption points (id -> fault plan factory).
+SCENARIOS = {
+    "mid-phase1": lambda: FaultPlan.crash_at("phase1:day", day=17),
+    "phase3-before-first-checkpoint": lambda: FaultPlan.crash_at(
+        "phase3:day", day=2
+    ),
+    "phase3-between-checkpoints": lambda: FaultPlan.crash_at(
+        "phase3:day", day=23
+    ),
+    "corrupt-tail-chunk": lambda: FaultPlan(
+        [Fault(site="phase3:checkpoint", day=24, action="truncate-chunk")]
+    ),
+    "corrupt-tail-checksum-entry": lambda: FaultPlan(
+        [
+            Fault(
+                site="phase3:checkpoint",
+                day=24,
+                action="corrupt-manifest",
+                detail="tail-chunk-sha256",
+            )
+        ]
+    ),
+}
+
+
+def _interrupt(config, run_dir, plan):
+    with pytest.raises(InjectedCrash):
+        CheckpointRunner(
+            config, run_dir, checkpoint_every=CHECKPOINT_EVERY, faults=plan
+        ).run(resume=False)
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_interrupted_run_resumes_byte_identical(
+    scenario, runner_config, baseline, baseline_report, tmp_path
+):
+    plan = SCENARIOS[scenario]()
+    _interrupt(runner_config, tmp_path, plan)
+    assert not plan.pending, "fault never fired -- scenario is vacuous"
+
+    resumed = CheckpointRunner(
+        runner_config, tmp_path, checkpoint_every=CHECKPOINT_EVERY
+    ).run(resume=True)
+
+    assert_results_identical(baseline, resumed)
+    report = render_report(run_validation(resumed))
+    assert report == baseline_report
+
+
+def test_double_interruption_still_byte_identical(
+    runner_config, baseline, tmp_path
+):
+    """Crash, resume, crash again later, resume again."""
+    _interrupt(runner_config, tmp_path, FaultPlan.crash_at("phase3:day", day=8))
+    second = FaultPlan.crash_at("phase3:day", day=33)
+    with pytest.raises(InjectedCrash):
+        CheckpointRunner(
+            runner_config,
+            tmp_path,
+            checkpoint_every=CHECKPOINT_EVERY,
+            faults=second,
+        ).run(resume=True)
+    resumed = CheckpointRunner(
+        runner_config, tmp_path, checkpoint_every=CHECKPOINT_EVERY
+    ).run(resume=True)
+    assert_results_identical(baseline, resumed)
+
+
+def test_resume_with_corrupted_config_hash_is_refused(
+    runner_config, tmp_path
+):
+    plan = FaultPlan(
+        [
+            Fault(
+                site="phase3:checkpoint",
+                day=24,
+                action="corrupt-manifest",
+                detail="config_sha256",
+            )
+        ]
+    )
+    _interrupt(runner_config, tmp_path, plan)
+    with pytest.raises(SimulationError, match="config hash mismatch"):
+        CheckpointRunner(
+            runner_config, tmp_path, checkpoint_every=CHECKPOINT_EVERY
+        ).run(resume=True)
+
+
+def test_corrupt_non_tail_chunk_is_refused(runner_config, tmp_path):
+    """Damage before the tail is unrecoverable and must say so."""
+    _interrupt(
+        runner_config, tmp_path, FaultPlan.crash_at("phase3:day", day=23)
+    )
+    # Four durable chunks exist (days 0-20); damage the first one.
+    first_chunk = sorted((tmp_path / "chunks").iterdir())[0]
+    first_chunk.write_bytes(first_chunk.read_bytes()[:-32])
+    with pytest.raises(SimulationError, match="not\\s+a discardable tail"):
+        CheckpointRunner(
+            runner_config, tmp_path, checkpoint_every=CHECKPOINT_EVERY
+        ).run(resume=True)

@@ -1,8 +1,9 @@
-"""Tests for the validation and dataset-export CLIs."""
+"""Tests for the validation, dataset-export, and runner CLIs."""
 
 import pytest
 
 from repro.records.__main__ import main as export_main
+from repro.runner.__main__ import main as runner_main
 from repro.validation.__main__ import main as validate_main
 
 
@@ -33,3 +34,35 @@ class TestExportCli:
         target = tmp_path / "nested" / "dir"
         assert export_main([str(target), "--small"]) == 0
         assert target.exists()
+
+
+class TestRunnerCli:
+    ARGS = ["--small", "--seed", "5", "--days", "25", "--checkpoint-every", "10"]
+
+    def test_fresh_run_then_resume(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert runner_main(["--checkpoint-dir", str(run_dir), *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "impression rows" in out
+        assert (run_dir / "MANIFEST.json").exists()
+        assert any((run_dir / "chunks").iterdir())
+        # A completed run resumes as a pure reload.
+        assert (
+            runner_main(
+                ["--checkpoint-dir", str(run_dir), "--resume", *self.ARGS]
+            )
+            == 0
+        )
+
+    def test_refuses_clobbering_existing_run(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert runner_main(["--checkpoint-dir", str(run_dir), *self.ARGS]) == 0
+        assert runner_main(["--checkpoint-dir", str(run_dir), *self.ARGS]) == 2
+        assert "already contains a run" in capsys.readouterr().err
+
+    def test_resume_without_run_fails_cleanly(self, tmp_path, capsys):
+        code = runner_main(
+            ["--checkpoint-dir", str(tmp_path / "void"), "--resume", *self.ARGS]
+        )
+        assert code == 2
+        assert "nothing to resume" in capsys.readouterr().err
