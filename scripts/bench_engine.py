@@ -21,6 +21,7 @@ import json
 import platform
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
@@ -105,7 +106,9 @@ def main(argv: list[str] | None = None) -> int:
     config = _build_config(args.quick, args.seed)
     record = {
         "schema": SCHEMA,
-        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        # timezone-aware UTC: time.strftime's %z is empty on platforms
+        # whose struct_time carries no offset, yielding a naive stamp.
+        "measured_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "config": {
             "preset": "quick" if args.quick else "default",
             "seed": config.seed,

@@ -1,7 +1,9 @@
 """Advertiser behaviour models: profiles, bidding styles, materialization."""
 
+from .batch import materialize_account_batch
 from .bidding import BidLevels, MatchMix, sample_bid_levels, sample_match_mix
 from .factory import (
+    CampaignBidStats,
     IdAllocator,
     MaterializedAccount,
     Offer,
@@ -20,8 +22,10 @@ __all__ = [
     "sample_bid_levels",
     "sample_legitimate_profile",
     "sample_fraud_profile",
+    "CampaignBidStats",
     "IdAllocator",
     "MaterializedAccount",
     "Offer",
     "materialize_account",
+    "materialize_account_batch",
 ]

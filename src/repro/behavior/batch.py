@@ -1,0 +1,527 @@
+"""Batched account materialization (the Phase-1 hot path).
+
+:func:`materialize_account_batch` is a draw-for-draw replay of
+:func:`repro.behavior.factory.materialize_account` that produces
+bit-identical output -- same entities, same offers, same RNG stream
+state afterwards -- at a fraction of the cost.  The scalar factory is
+retained as the differential oracle; the equivalence rests on a small
+set of numpy facts the tests pin down:
+
+* ``Generator.random(n)`` yields the same doubles as ``n`` successive
+  ``Generator.random()`` calls, so a run of consecutive same-stream
+  uniform draws can be issued as one array call.
+* ``Generator.choice(n, p=w)`` consumes exactly one uniform and inverts
+  it through ``w``'s normalized cumulative sum with a right-sided
+  ``searchsorted`` -- precomputing that CDF (see
+  :func:`repro.rng.choice_cdf`) replaces each ``choice`` call, value
+  and state, without re-validating ``p`` every time.
+* ``bisect.bisect_right`` on the CDF as a Python list returns the same
+  index as the array ``searchsorted`` (both are right-sided binary
+  searches over the identical float64 values), at a fraction of the
+  call overhead -- the per-bid match-type draw uses it.
+
+Draws that cannot batch -- ones whose *presence* depends on an earlier
+draw, like the brand-avoidance re-draw or the per-entity maintenance
+schedule -- stay scalar but drop the per-call fat: cached CDF tables
+instead of ``choice``'s argument validation, tuple lookups instead of
+per-call dict construction.
+
+Entity *construction* is decoupled from the draws entirely.  The draw
+loop records plain columns (pool indices, match codes, floats); the
+objects are built afterwards in bulk.  For fraudulent accounts that
+happens immediately -- the detection pipeline's content filter reads
+the actual ad copy and keywords.  For legitimate accounts nothing
+downstream looks at entities until after :meth:`MaterializedAccount.trim`
+fixes the dormancy cutoff, so construction is deferred into ``trim``
+via :class:`_PendingEntities` and only the *surviving* entities are
+ever built -- at full scale roughly a third of all draws fall after
+the account's dormancy and are discarded unbuilt.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+import numpy as np
+
+from ..auction.quality import MATCH_RELEVANCE
+from ..config import SimulationConfig
+from ..entities.ad import Ad
+from ..entities.advertiser import Advertiser
+from ..entities.campaign import Campaign
+from ..entities.enums import MatchType
+from ..entities.keyword import KeywordBid
+from ..taxonomy.adcopy import AdCopy, render_ad, templates_for
+from ..taxonomy.geography import country as country_info
+from ..taxonomy.keywords import evasive_keyword_tables, keyword_cdf, keyword_pool
+from ..taxonomy.verticals import vertical as vertical_info
+from .factory import (
+    FRAUD_KEYWORD_ZIPF,
+    MAX_INDEXED_OFFERS_PER_CAMPAIGN,
+    CampaignBidStats,
+    IdAllocator,
+    MaterializedAccount,
+    Offer,
+    _assign_mod_counts,
+    _creation_times,
+    _destination_domains,
+)
+from .profiles import AdvertiserProfile
+
+__all__ = ["materialize_account_batch"]
+
+#: Match types in stream-draw order; index ``i`` is also the match code
+#: (:data:`repro.records.codes.MATCH_CODES` uses the same ordering).
+_MATCH_TYPES: tuple[MatchType, ...] = (
+    MatchType.EXACT,
+    MatchType.PHRASE,
+    MatchType.BROAD,
+)
+_MATCH_RELEVANCE: tuple[float, ...] = tuple(
+    MATCH_RELEVANCE[mt] for mt in _MATCH_TYPES
+)
+
+
+class _PendingEntities:
+    """Recorded draw columns awaiting entity construction.
+
+    ``finalize(account, end_time)`` builds the Ad/KeywordBid/Offer
+    objects whose creation time falls strictly before ``end_time``
+    (``None`` keeps everything) and attaches them exactly where the
+    scalar factory followed by ``trim(end_time)`` would leave them --
+    same objects, same order, same ``modified_count`` assignment.
+    """
+
+    __slots__ = (
+        "campaigns",
+        "ad_ids",
+        "copies",
+        "engagements",
+        "ad_campaign_ids",
+        "ad_domains",
+        "kw_idx_cols",
+        "mcode_cols",
+        "max_bid_cols",
+        "created_cols",
+        "offer_records",
+    )
+
+    def __init__(
+        self,
+        campaigns: list[Campaign],
+        ad_ids: list[int],
+        copies: list[AdCopy],
+        engagements: list[float],
+        ad_campaign_ids: list[int],
+        ad_domains: list[str],
+        kw_idx_cols: list[list[int]],
+        mcode_cols: list[list[int]],
+        max_bid_cols: list[list[float]],
+        created_cols: list[list[float]],
+        offer_records: list[tuple],
+    ) -> None:
+        self.campaigns = campaigns
+        self.ad_ids = ad_ids
+        self.copies = copies
+        self.engagements = engagements
+        self.ad_campaign_ids = ad_campaign_ids
+        self.ad_domains = ad_domains
+        self.kw_idx_cols = kw_idx_cols
+        self.mcode_cols = mcode_cols
+        self.max_bid_cols = max_bid_cols
+        self.created_cols = created_cols
+        self.offer_records = offer_records
+
+    def finalize(
+        self, account: MaterializedAccount, end_time: float | None
+    ) -> None:
+        """Build surviving entities onto ``account`` (see class doc)."""
+        campaigns = self.campaigns
+        n_campaigns = len(campaigns)
+        n_ads_full = len(self.ad_ids)
+        # Pre-trim totals drive the modification-count split exactly as
+        # the scalar path's _assign_mod_counts (which runs before trim).
+        ad_mods_full = account.ad_mod_times
+        kw_mods_full = account.kw_mod_times
+        max_bid_cols = self.max_bid_cols
+        n_bids_full = sum(len(col) for col in max_bid_cols)
+
+        if end_time is None:
+            n_ads = n_ads_full
+        else:
+            n_ads = bisect_left(account.ad_creation_times, end_time)
+        ads = Ad.bulk(
+            self.ad_ids[:n_ads],
+            self.ad_campaign_ids[:n_ads],
+            self.copies[:n_ads],
+            self.ad_domains[:n_ads],
+            self.ad_domains[:n_ads],
+            account.ad_creation_times[:n_ads],
+            self.engagements[:n_ads],
+        )
+        for index, ad in enumerate(ads):
+            campaigns[index % n_campaigns].ads.append(ad)
+
+        if ads and ad_mods_full:
+            per_ad, remainder = divmod(len(ad_mods_full), n_ads_full)
+            # Scalar assignment order is campaign-major over the
+            # *pre-trim* ad list; campaign ``c`` owned ads
+            # ``c, c+n, c+2n, ...`` so its pre-trim count is derivable.
+            offset = 0
+            for pos, campaign in enumerate(campaigns):
+                for j, ad in enumerate(campaign.ads):
+                    ad.modified_count = per_ad + (1 if offset + j < remainder else 0)
+                offset += (n_ads_full - pos + n_campaigns - 1) // n_campaigns
+
+        bids_by_campaign: list[list[KeywordBid]] = []
+        bid_stats: list[CampaignBidStats] = []
+        bid_offset = 0
+        n_bids_kept = 0
+        if n_bids_full and kw_mods_full:
+            per_bid, bid_remainder = divmod(len(kw_mods_full), n_bids_full)
+        else:
+            per_bid = bid_remainder = 0
+        assign_bid_mods = bool(n_bids_full and kw_mods_full)
+        for pos, campaign in enumerate(campaigns):
+            kw_idx_col = self.kw_idx_cols[pos]
+            mcode_col = self.mcode_cols[pos]
+            max_bid_col = max_bid_cols[pos]
+            created_col = self.created_cols[pos]
+            full = len(max_bid_col)
+            if end_time is None:
+                keep = full
+            else:
+                keep = bisect_left(created_col, end_time)
+                if keep != full:
+                    kw_idx_col = kw_idx_col[:keep]
+                    mcode_col = mcode_col[:keep]
+                    max_bid_col = max_bid_col[:keep]
+                    created_col = created_col[:keep]
+            pool = keyword_pool(campaign.vertical)
+            bids = KeywordBid.bulk(
+                [pool[i] for i in kw_idx_col],
+                [_MATCH_TYPES[c] for c in mcode_col],
+                max_bid_col,
+                created_col,
+            )
+            if assign_bid_mods:
+                for j, bid in enumerate(bids):
+                    bid.modified_count = per_bid + (
+                        1 if bid_offset + j < bid_remainder else 0
+                    )
+            campaign.bids = bids
+            bids_by_campaign.append(bids)
+            bid_stats.append(
+                CampaignBidStats(
+                    mcodes=np.asarray(mcode_col, dtype=np.int8),
+                    max_bids=np.asarray(max_bid_col, dtype=np.float64),
+                    created=np.asarray(created_col, dtype=np.float64),
+                )
+            )
+            bid_offset += full
+            n_bids_kept += keep
+
+        offers = account.offers
+        for (
+            ad_index,
+            pos,
+            bid_pos,
+            kw_index,
+            match_idx,
+            quality,
+            click_quality,
+            created,
+        ) in self.offer_records:
+            if end_time is not None and created >= end_time:
+                # Offer records are in global ad order, hence sorted by
+                # creation time: nothing later survives either.
+                break
+            campaign = campaigns[pos]
+            offers.append(
+                Offer(
+                    advertiser=account.advertiser,
+                    profile=account.profile,
+                    vertical=campaign.vertical,
+                    country=campaign.target_country,
+                    ad=ads[ad_index],
+                    bid=bids_by_campaign[pos][bid_pos],
+                    kw_index=kw_index,
+                    quality=quality,
+                    click_quality=click_quality,
+                    active_from=created,
+                )
+            )
+
+        account.bid_stats = bid_stats
+        if end_time is not None:
+            account.ad_creation_times = account.ad_creation_times[:n_ads]
+            account.kw_creation_times = account.kw_creation_times[:n_bids_kept]
+            account.ad_mod_times = [t for t in ad_mods_full if t < end_time]
+            account.kw_mod_times = [t for t in kw_mods_full if t < end_time]
+
+
+def materialize_account_batch(
+    advertiser: Advertiser,
+    profile: AdvertiserProfile,
+    first_ad_time: float,
+    horizon: float,
+    config: SimulationConfig,
+    ids: IdAllocator,
+    rng: np.random.Generator,
+) -> MaterializedAccount:
+    """Create campaigns, ads and keyword bids for an account -- fast.
+
+    Bit-identical to :func:`repro.behavior.factory.materialize_account`
+    (same entities, same ``rng`` state afterwards) with two deliberate
+    differences in *packaging*: :attr:`MaterializedAccount.bid_stats`
+    is filled so the engine can summarize without touching every bid
+    object again, and for legitimate accounts entity construction is
+    deferred into the first :meth:`MaterializedAccount.trim` call,
+    which builds only the entities surviving the cutoff.
+    """
+    account = MaterializedAccount(advertiser=advertiser, profile=profile)
+    campaigns = Campaign.bulk(
+        [ids.campaign_id() for _ in profile.verticals],
+        advertiser.advertiser_id,
+        list(profile.verticals),
+        list(profile.target_countries),
+        first_ad_time,
+    )
+    advertiser.campaigns.extend(campaigns)
+    advertiser.record_first_ad(first_ad_time)
+
+    n_ads = profile.n_ads
+    domains = _destination_domains(profile, n_ads, rng)
+    ad_times = _creation_times(n_ads, first_ad_time, horizon, rng)
+    # Evasion is an operator *style*, decided once per account (same
+    # short-circuit as the scalar path: no draw for legitimate accounts).
+    evasive = profile.is_fraud and rng.random() < profile.evasion_skill
+
+    is_fraud = profile.is_fraud
+    evasion_skill = profile.evasion_skill
+    exponent = FRAUD_KEYWORD_ZIPF if is_fraud else 1.1
+    # Per-campaign lookup tables and accumulators, unpacked per ad in
+    # the hot loop.  Keyword picks and match types are recorded as pool
+    # indices / match codes; phrase tuples and enum members are only
+    # materialized for entities that survive trimming.
+    preps = []
+    kw_idx_cols: list[list[int]] = []
+    mcode_cols: list[list[int]] = []
+    max_bid_cols: list[list[float]] = []
+    created_cols: list[list[float]] = []
+    for campaign in campaigns:
+        vertical_name = campaign.vertical
+        avoid = (
+            is_fraud
+            and evasion_skill > 0
+            and vertical_name not in ("impersonation", "phishing")
+        )
+        kcdf = keyword_cdf(vertical_name, exponent)
+        if avoid:
+            risky, safe, safe_cdf = evasive_keyword_tables(
+                vertical_name, exponent
+            )
+            safe = safe.tolist()
+            safe_cdf = safe_cdf.tolist()
+        else:
+            risky = safe = safe_cdf = None
+        kw_idx_col: list[int] = []
+        mcode_col: list[int] = []
+        max_bid_col: list[float] = []
+        created_col: list[float] = []
+        kw_idx_cols.append(kw_idx_col)
+        mcode_cols.append(mcode_col)
+        max_bid_cols.append(max_bid_col)
+        created_cols.append(created_col)
+        preps.append(
+            (
+                vertical_name,
+                campaign.campaign_id,
+                vertical_info(vertical_name).base_ctr,
+                templates_for(vertical_name),
+                kcdf,
+                kcdf.tolist(),
+                avoid,
+                risky,
+                safe,
+                safe_cdf,
+                kw_idx_col,
+                mcode_col,
+                max_bid_col,
+                created_col,
+            )
+        )
+
+    n_campaigns = len(campaigns)
+    n_domains = len(domains)
+    kw_per_ad = profile.kw_per_ad
+    mod_rate = profile.mod_rate_per_entity
+    default_bid = config.auction.default_max_bid
+    default_clamped = max(0.05, default_bid)
+    levels = profile.bid_levels
+    mult_table = (levels.exact, levels.phrase, levels.broad)
+    mcdf = profile.match_mix.cdf().tolist()
+    rel = _MATCH_RELEVANCE
+    max_indexed = MAX_INDEXED_OFFERS_PER_CAMPAIGN
+    aq_rank = advertiser.quality * profile.rank_gaming
+    aq_click = advertiser.quality * profile.realized_ctr_factor
+
+    rand = rng.random
+    lognormal = rng.lognormal
+    normal = rng.normal
+    poisson = rng.poisson
+    uniform = rng.uniform
+    integers = rng.integers
+    np_exp = np.exp
+    bisect = bisect_right
+
+    ad_ids = [ids.ad_id() for _ in range(n_ads)]
+    copies: list[AdCopy] = []
+    engagements: list[float] = []
+    ad_campaign_ids: list[int] = []
+    ad_domains: list[str] = []
+    ad_creation_times: list[float] = []
+    kw_creation_times: list[float] = []
+    ad_mod_times: list[float] = []
+    kw_mod_times: list[float] = []
+    indexed = [0] * n_campaigns
+    # (ad_index, campaign_pos, bid_pos, kw_index, match_idx, quality,
+    #  click_quality, created) -- Offer objects are built at finalize
+    # time so they can reference the real Ad/bid objects.
+    offer_records: list[tuple] = []
+    offer_append = offer_records.append
+
+    for ad_index, created in enumerate(ad_times):
+        pos = ad_index % n_campaigns
+        (
+            vertical_name,
+            campaign_id,
+            base_ctr,
+            templates,
+            kcdf,
+            kcdf_list,
+            avoid,
+            risky,
+            safe,
+            safe_cdf,
+            kw_idx_col,
+            mcode_col,
+            max_bid_col,
+            created_col,
+        ) = preps[pos]
+        if evasive:
+            copy = render_ad(vertical_name, rng, evasive=True)
+        else:
+            copy = templates[int(integers(len(templates)))]
+        engagement = float(lognormal(0.0, 0.25))
+        copies.append(copy)
+        engagements.append(engagement)
+        ad_campaign_ids.append(campaign_id)
+        ad_domains.append(domains[ad_index % n_domains])
+        ad_creation_times.append(created)
+
+        span = horizon - created
+        has_mods = span > 0 and mod_rate > 0
+        if has_mods:
+            rate_span = mod_rate * span
+            count = poisson(rate_span)
+            if count:
+                ad_mod_times += uniform(created, horizon, size=int(count)).tolist()
+        else:
+            rate_span = 0.0
+
+        if avoid:
+            picks = []
+            n_safe = len(safe)
+            for _ in range(kw_per_ad):
+                index = bisect(kcdf_list, rand())
+                if risky[index] and rand() < evasion_skill:
+                    if n_safe:
+                        index = safe[bisect(safe_cdf, rand())]
+                picks.append(index)
+        elif kw_per_ad <= 16:
+            picks = [bisect(kcdf_list, u) for u in rand(kw_per_ad).tolist()]
+        else:
+            picks = kcdf.searchsorted(rand(kw_per_ad), side="right").tolist()
+
+        quality_base = aq_rank * engagement * base_ctr
+        click_base = aq_click * engagement * base_ctr
+        n_indexed = indexed[pos]
+        n_before = len(max_bid_col)
+        kw_append = kw_idx_col.append
+        mc_append = mcode_col.append
+        mb_append = max_bid_col.append
+        seen: set[int] = set()
+        seen_add = seen.add
+        for kw_index in picks:
+            match_idx = bisect(mcdf, rand())
+            key = kw_index * 3 + match_idx
+            if key in seen:
+                continue
+            seen_add(key)
+            multiplier = mult_table[match_idx]
+            if multiplier == 1.0:
+                max_bid = default_clamped
+            else:
+                max_bid = max(
+                    0.05,
+                    default_bid * multiplier * float(np_exp(normal(0.0, 0.15))),
+                )
+            kw_append(kw_index)
+            mc_append(match_idx)
+            mb_append(max_bid)
+            if has_mods:
+                count = poisson(rate_span)
+                if count:
+                    kw_mod_times += uniform(
+                        created, horizon, size=int(count)
+                    ).tolist()
+            if n_indexed < max_indexed:
+                offer_append(
+                    (
+                        ad_index,
+                        pos,
+                        len(max_bid_col) - 1,
+                        kw_index,
+                        match_idx,
+                        quality_base * rel[match_idx],
+                        click_base * rel[match_idx],
+                        created,
+                    )
+                )
+                n_indexed += 1
+        indexed[pos] = n_indexed
+        n_accepted = len(max_bid_col) - n_before
+        if n_accepted:
+            chunk = [created] * n_accepted
+            created_col += chunk
+            kw_creation_times += chunk
+
+    account.ad_creation_times = ad_creation_times
+    account.kw_creation_times = kw_creation_times
+    account.ad_mod_times = ad_mod_times
+    account.kw_mod_times = kw_mod_times
+
+    pending = _PendingEntities(
+        campaigns,
+        ad_ids,
+        copies,
+        engagements,
+        ad_campaign_ids,
+        ad_domains,
+        kw_idx_cols,
+        mcode_cols,
+        max_bid_cols,
+        created_cols,
+        offer_records,
+    )
+    if is_fraud:
+        # The detection pipeline's content filter reads the actual ad
+        # copy and keywords, so fraud accounts build immediately.
+        pending.finalize(account, None)
+    else:
+        account.pending = pending
+
+    for campaign in campaigns:
+        country_info(campaign.target_country)
+    return account

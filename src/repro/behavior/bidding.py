@@ -48,6 +48,18 @@ class MatchMix:
             np.array([self.exact, self.phrase, self.broad]),
         )
 
+    def cdf(self) -> np.ndarray:
+        """Cumulative form of :meth:`as_probs`'s probabilities.
+
+        Inverting one uniform through this table (right-sided
+        ``searchsorted``) reproduces
+        ``rng.choice(3, p=self.as_probs()[1])`` exactly -- the batched
+        materializer's per-bid match-type draw.
+        """
+        from ..rng import choice_cdf
+
+        return choice_cdf(np.array([self.exact, self.phrase, self.broad]))
+
 
 @dataclass(frozen=True)
 class BidLevels:

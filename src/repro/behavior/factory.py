@@ -38,7 +38,13 @@ from ..taxonomy.keywords import keyword_pool, keyword_weights, risky_keyword_mas
 from ..taxonomy.verticals import vertical as vertical_info
 from .profiles import AdvertiserProfile
 
-__all__ = ["Offer", "MaterializedAccount", "IdAllocator", "materialize_account"]
+__all__ = [
+    "Offer",
+    "CampaignBidStats",
+    "MaterializedAccount",
+    "IdAllocator",
+    "materialize_account",
+]
 
 MAX_INDEXED_OFFERS_PER_CAMPAIGN = 40
 #: Share of an account's ads posted immediately at first-ad time.
@@ -96,11 +102,38 @@ class Offer:
 
 
 @dataclass
+class CampaignBidStats:
+    """Parallel per-bid arrays for one campaign, for fast summarizing.
+
+    Mirrors ``campaign.bids`` element for element (same order): the
+    match code, max bid and creation day of each bid.  The batched
+    materializer fills these so the engine's summary statistics come
+    from three ``bincount`` calls instead of a Python loop over every
+    bid object; :meth:`MaterializedAccount.trim` keeps them aligned
+    with the trimmed bid lists.
+    """
+
+    mcodes: np.ndarray
+    max_bids: np.ndarray
+    created: np.ndarray
+
+    def trim(self, end_time: float) -> None:
+        """Drop bids created at or after ``end_time`` (same rule as trim)."""
+        keep = self.created < end_time
+        if not keep.all():
+            self.mcodes = self.mcodes[keep]
+            self.max_bids = self.max_bids[keep]
+            self.created = self.created[keep]
+
+
+@dataclass
 class MaterializedAccount:
     """An account plus the side-structures the engine and analyses need.
 
     ``activity_end`` is filled in by the engine once the detection
     outcome (or dormancy) fixes when the account stops competing.
+    ``bid_stats``, when present (batched materializer only), is parallel
+    to ``advertiser.campaigns`` and mirrors each campaign's bid list.
     """
 
     advertiser: Advertiser
@@ -111,12 +144,35 @@ class MaterializedAccount:
     kw_creation_times: list[float] = field(default_factory=list)
     ad_mod_times: list[float] = field(default_factory=list)
     kw_mod_times: list[float] = field(default_factory=list)
+    bid_stats: list[CampaignBidStats] | None = None
+    #: Deferred entity columns (batched materializer, legitimate
+    #: accounts only): entity objects have not been built yet and will
+    #: be constructed by the first :meth:`trim` -- survivors only.
+    pending: object | None = field(default=None, repr=False, compare=False)
+
+    def destination_domains(self) -> set[str]:
+        """Destination domains across all (pre-trim) ads."""
+        if self.pending is not None:
+            return set(self.pending.ad_domains)
+        return {
+            ad.destination_domain
+            for campaign in self.advertiser.campaigns
+            for ad in campaign.ads
+        }
 
     def trim(self, end_time: float) -> None:
         """Drop everything scheduled after the account's end time."""
+        pending = self.pending
+        if pending is not None:
+            self.pending = None
+            pending.finalize(self, end_time)
+            return
         for campaign in self.advertiser.campaigns:
             campaign.ads = [a for a in campaign.ads if a.created_day < end_time]
             campaign.bids = [b for b in campaign.bids if b.created_day < end_time]
+        if self.bid_stats is not None:
+            for stats in self.bid_stats:
+                stats.trim(end_time)
         self.offers = [o for o in self.offers if o.active_from < end_time]
         self.ad_creation_times = [t for t in self.ad_creation_times if t < end_time]
         self.kw_creation_times = [t for t in self.kw_creation_times if t < end_time]

@@ -14,10 +14,11 @@ import numpy as np
 
 from ..config import SimulationConfig
 from ..entities.enums import AdvertiserKind
+from ..rng import draw_index
 from ..taxonomy.geography import (
-    fraud_registration_weights,
+    fraud_registration_cdf,
     home_targeting_prob,
-    market_attractiveness,
+    market_attractiveness_cdf,
 )
 from ..taxonomy.verticals import (
     fraud_vertical_weights,
@@ -31,8 +32,8 @@ __all__ = ["sample_fraud_profile"]
 
 
 def _sample_country(rng: np.random.Generator) -> str:
-    codes, probs = fraud_registration_weights()
-    return codes[int(rng.choice(len(codes), p=probs))]
+    codes, cdf = fraud_registration_cdf()
+    return codes[draw_index(rng, cdf)]
 
 
 def _sample_verticals(
@@ -58,8 +59,8 @@ def _sample_verticals(
 def _target_country(home: str, rng: np.random.Generator) -> str:
     if rng.random() < home_targeting_prob(home):
         return home
-    codes, probs = market_attractiveness()
-    return codes[int(rng.choice(len(codes), p=probs))]
+    codes, cdf = market_attractiveness_cdf()
+    return codes[draw_index(rng, cdf)]
 
 
 def sample_fraud_profile(

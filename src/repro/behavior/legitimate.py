@@ -6,10 +6,11 @@ import numpy as np
 
 from ..config import SimulationConfig
 from ..entities.enums import AdvertiserKind
+from ..rng import draw_index
 from ..taxonomy.geography import (
     home_targeting_prob,
-    nonfraud_registration_weights,
-    query_volume_weights,
+    nonfraud_registration_cdf,
+    query_volume_cdf,
 )
 from ..taxonomy.verticals import nonfraud_vertical_weights, vertical
 from .bidding import sample_bid_levels, sample_match_mix
@@ -19,8 +20,8 @@ __all__ = ["sample_legitimate_profile"]
 
 
 def _sample_country(rng: np.random.Generator) -> str:
-    codes, probs = nonfraud_registration_weights()
-    return codes[int(rng.choice(len(codes), p=probs))]
+    codes, cdf = nonfraud_registration_cdf()
+    return codes[draw_index(rng, cdf)]
 
 
 def _sample_verticals(rng: np.random.Generator, count: int) -> list[str]:
@@ -38,8 +39,8 @@ LEGIT_HOME_BIAS = 0.85
 def _target_country(home: str, rng: np.random.Generator) -> str:
     if rng.random() < max(LEGIT_HOME_BIAS, home_targeting_prob(home)):
         return home
-    codes, probs = query_volume_weights()
-    return codes[int(rng.choice(len(codes), p=probs))]
+    codes, cdf = query_volume_cdf()
+    return codes[draw_index(rng, cdf)]
 
 
 def sample_legitimate_profile(

@@ -39,6 +39,48 @@ class Ad:
         if self.engagement <= 0:
             raise ValueError("engagement must be > 0")
 
+    @classmethod
+    def bulk(
+        cls,
+        ad_ids: list[int],
+        campaign_ids: list[int],
+        copies: list[AdCopy],
+        display_domains: list[str],
+        destination_domains: list[str],
+        created_days: list[float],
+        engagements: list[float],
+    ) -> list[Ad]:
+        """Construct many ads at once, validating array-wise.
+
+        Same semantics as per-element construction; the ``engagement``
+        check from ``__post_init__`` runs once over the whole batch.
+        """
+        if engagements and min(engagements) <= 0:
+            raise ValueError("engagement must be > 0")
+        ads: list[Ad] = []
+        append = ads.append
+        new = cls.__new__
+        for ad_id, campaign_id, copy, display, destination, created, engagement in zip(
+            ad_ids,
+            campaign_ids,
+            copies,
+            display_domains,
+            destination_domains,
+            created_days,
+            engagements,
+        ):
+            ad = new(cls)
+            ad.ad_id = ad_id
+            ad.campaign_id = campaign_id
+            ad.copy = copy
+            ad.display_domain = display
+            ad.destination_domain = destination
+            ad.created_day = created
+            ad.engagement = engagement
+            ad.modified_count = 0
+            append(ad)
+        return ads
+
     def record_modification(self) -> None:
         """Count one edit to this ad."""
         self.modified_count += 1

@@ -41,3 +41,37 @@ class Campaign:
     def add_bid(self, bid: KeywordBid) -> None:
         """Attach a keyword bid."""
         self.bids.append(bid)
+
+    def extend_ads(self, ads: list[Ad]) -> None:
+        """Attach many ads; all must carry this campaign's id."""
+        for ad in ads:
+            if ad.campaign_id != self.campaign_id:
+                raise ValueError("ad belongs to a different campaign")
+        self.ads.extend(ads)
+
+    def extend_bids(self, bids: list[KeywordBid]) -> None:
+        """Attach many keyword bids."""
+        self.bids.extend(bids)
+
+    @classmethod
+    def bulk(
+        cls,
+        campaign_ids: list[int],
+        advertiser_id: int,
+        verticals: list[str],
+        target_countries: list[str],
+        created_day: float,
+    ) -> list[Campaign]:
+        """One campaign per (vertical, target country) pair."""
+        return [
+            cls(
+                campaign_id=campaign_id,
+                advertiser_id=advertiser_id,
+                vertical=vertical,
+                target_country=target,
+                created_day=created_day,
+            )
+            for campaign_id, vertical, target in zip(
+                campaign_ids, verticals, target_countries
+            )
+        ]

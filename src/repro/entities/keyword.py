@@ -38,6 +38,40 @@ class KeywordBid:
         if self.max_bid <= 0:
             raise ValueError("max_bid must be > 0")
 
+    @classmethod
+    def bulk(
+        cls,
+        keywords: list[tuple[str, ...]],
+        match_types: list[MatchType],
+        max_bids: list[float],
+        created_days: list[float],
+    ) -> list[KeywordBid]:
+        """Construct many bids at once, validating array-wise.
+
+        Equivalent to calling the constructor per element but with the
+        per-instance ``__post_init__`` checks hoisted into two upfront
+        passes -- the batched materializer creates millions of bids per
+        full-scale run.
+        """
+        if not all(keywords):
+            raise ValueError("keyword phrase must be non-empty")
+        if max_bids and min(max_bids) <= 0:
+            raise ValueError("max_bid must be > 0")
+        bids: list[KeywordBid] = []
+        append = bids.append
+        new = cls.__new__
+        for keyword, match_type, max_bid, created in zip(
+            keywords, match_types, max_bids, created_days
+        ):
+            bid = new(cls)
+            bid.keyword = keyword
+            bid.match_type = match_type
+            bid.max_bid = max_bid
+            bid.created_day = created
+            bid.modified_count = 0
+            append(bid)
+        return bids
+
     @property
     def phrase(self) -> str:
         """The keyword as a human-readable string."""

@@ -13,7 +13,7 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["stream", "stream_seed"]
+__all__ = ["stream", "stream_seed", "choice_cdf", "draw_index"]
 
 
 def stream_seed(root_seed: int, name: str) -> int:
@@ -29,3 +29,29 @@ def stream_seed(root_seed: int, name: str) -> int:
 def stream(root_seed: int, name: str) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for the named stream."""
     return np.random.Generator(np.random.PCG64(stream_seed(root_seed, name)))
+
+
+def choice_cdf(probs) -> np.ndarray:
+    """Cumulative distribution replicating ``Generator.choice``'s internals.
+
+    ``Generator.choice(n, p=probs)`` normalizes the cumulative sum of
+    ``p`` and inverts one uniform draw through it with a right-sided
+    ``searchsorted``.  Precomputing that CDF once lets hot paths replace
+    each ``choice`` call with :func:`draw_index` -- the same single
+    ``random()`` draw, the same float operations, hence the *same*
+    resulting index and generator state, without re-validating and
+    re-accumulating ``p`` on every call.
+    """
+    cdf = np.asarray(probs, dtype=np.float64).cumsum()
+    cdf /= cdf[-1]
+    return cdf
+
+
+def draw_index(rng: np.random.Generator, cdf: np.ndarray) -> int:
+    """One categorical draw through a :func:`choice_cdf` table.
+
+    Bit-identical (value and stream state) to
+    ``int(rng.choice(len(p), p=p))`` for the probabilities the CDF was
+    built from; consumes exactly one uniform.
+    """
+    return int(cdf.searchsorted(rng.random(), side="right"))

@@ -67,12 +67,12 @@ def main(argv: list[str] | None = None) -> int:
 
     from .runner import CheckpointRunner
 
-    runner = CheckpointRunner(
-        config, args.checkpoint_dir, checkpoint_every=args.checkpoint_every
-    )
     started = time.time()
     try:
-        result = runner.run(resume=True if args.resume else False)
+        runner = CheckpointRunner(
+            config, args.checkpoint_dir, checkpoint_every=args.checkpoint_every
+        )
+        result = runner.run(resume=args.resume)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import io
 import pickle
-import sys
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -166,10 +166,11 @@ class CheckpointRunner:
         from .._version import __version__
 
         if manifest.package_version != __version__:
-            print(
-                f"warning: resuming a run written by repro "
+            warnings.warn(
+                f"resuming a run written by repro "
                 f"{manifest.package_version} with repro {__version__}",
-                file=sys.stderr,
+                RuntimeWarning,
+                stacklevel=2,
             )
 
     def _run_phase1(

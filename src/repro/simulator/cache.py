@@ -8,10 +8,12 @@ their own runs.
 The cache is a bounded LRU: full-scale results hold multi-million-row
 impression tables, so an unbounded dict would grow without limit across
 a long ablation sweep.  Capacity defaults to
-:data:`DEFAULT_CACHE_CAPACITY`, can be set at import time via the
-``REPRO_SIM_CACHE_SIZE`` environment variable, and at runtime via
-:func:`set_cache_capacity`.  Least-recently-*used* entries are evicted
-(a cache hit refreshes recency).
+:data:`DEFAULT_CACHE_CAPACITY`, can be set via the
+``REPRO_SIM_CACHE_SIZE`` environment variable (read lazily, at first
+cache use, so a malformed value surfaces as a :class:`ConfigError` from
+the operation that needed it rather than an import-time crash), and at
+runtime via :func:`set_cache_capacity`.  Least-recently-*used* entries
+are evicted (a cache hit refreshes recency).
 """
 
 from __future__ import annotations
@@ -53,11 +55,22 @@ def _initial_capacity() -> int:
     return capacity
 
 
-_capacity = _initial_capacity()
+# None means "not resolved yet": the environment variable is consulted
+# on first use, not at import time, so merely importing this module (or
+# anything that transitively does) cannot crash on a malformed value.
+_capacity: int | None = None
+
+
+def _current_capacity() -> int:
+    global _capacity
+    if _capacity is None:
+        _capacity = _initial_capacity()
+    return _capacity
 
 
 def _evict() -> None:
-    while len(_CACHE) > _capacity:
+    capacity = _current_capacity()
+    while len(_CACHE) > capacity:
         _CACHE.popitem(last=False)
 
 

@@ -9,6 +9,12 @@ Runs in three phases:
    can be generated before any auction runs.  A detection sampled to
    land *after* the study end is discarded: that account is analysed
    as non-fraudulent, exactly as undetected fraud is at Bing.
+   Materialization runs through the batched path
+   (:func:`~repro.behavior.batch.materialize_account_batch`): grouped
+   numpy draws on the same named streams in the same draw order as the
+   scalar factory, so the population -- and everything downstream --
+   is bit-identical to :meth:`SimulationEngine.generate_population_scalar`,
+   the retained differential oracle.
 2. **Market build** -- flatten every keyword offer into the vectorized
    :class:`~repro.simulator.market.MarketIndex`.
 3. **Auctions** -- for each day, compute live offers, sample the query
@@ -28,10 +34,13 @@ streams, both produce bit-identical impression tables.
 
 from __future__ import annotations
 
+import gc
+
 import numpy as np
 
 from ..auction.batch import run_auction_batch
 from ..auction.gsp import Candidate, run_auction
+from ..behavior.batch import materialize_account_batch
 from ..behavior.factory import IdAllocator, MaterializedAccount, materialize_account
 from ..behavior.fraudulent import sample_fraud_profile
 from ..behavior.legitimate import sample_legitimate_profile
@@ -173,12 +182,34 @@ class SimulationEngine:
             for campaign in advertiser.campaigns:
                 for ad in campaign.ads:
                     domains.add(ad.destination_domain)
-                for bid in campaign.bids:
-                    code = match_code(bid.match_type)
-                    bid_count[code] += 1
-                    bid_sum[code] += bid.max_bid
-                    if bid.max_bid > default_bid * 1.0001:
-                        bid_above[code] += 1
+            if account.bid_stats is not None:
+                # Fast path (batched materializer): one concatenated
+                # campaign-major pass.  ``bincount`` accumulates weights
+                # sequentially in array order, which is exactly the
+                # order the scalar loop below adds them in, so the
+                # float sums are bit-identical.
+                stats = account.bid_stats
+                if stats:
+                    mcodes = np.concatenate([s.mcodes for s in stats])
+                    max_bids = np.concatenate([s.max_bids for s in stats])
+                    if len(mcodes):
+                        bid_count = np.bincount(mcodes, minlength=3).astype(
+                            np.float64
+                        )
+                        bid_sum = np.bincount(
+                            mcodes, weights=max_bids, minlength=3
+                        )
+                        bid_above = np.bincount(
+                            mcodes[max_bids > default_bid * 1.0001], minlength=3
+                        ).astype(np.float64)
+            else:
+                for campaign in advertiser.campaigns:
+                    for bid in campaign.bids:
+                        code = match_code(bid.match_type)
+                        bid_count[code] += 1
+                        bid_sum[code] += bid.max_bid
+                        if bid.max_bid > default_bid * 1.0001:
+                            bid_above[code] += 1
             n_domains = len(domains)
             ad_creations = account.ad_creation_times
             kw_creations = account.kw_creation_times
@@ -222,6 +253,7 @@ class SimulationEngine:
         profile: AdvertiserProfile,
         created_time: float,
         adv_row: int,
+        materializer=materialize_account_batch,
     ) -> tuple[MaterializedAccount, AccountSummary]:
         """Build one account end-to-end (materialize + detect + trim)."""
         total_days = float(self.config.days)
@@ -267,7 +299,7 @@ class SimulationEngine:
             )
             return empty, summary
 
-        account = materialize_account(
+        account = materializer(
             advertiser,
             profile,
             first_ad_time,
@@ -288,9 +320,7 @@ class SimulationEngine:
             advertiser.shutdown(
                 outcome.shutdown_time, outcome.reason, outcome.labeled_fraud
             )
-            domains = sorted(
-                {ad.destination_domain for ad in advertiser.all_ads()}
-            )
+            domains = sorted(account.destination_domains())
             self.pipeline.commit(advertiser.advertiser_id, outcome, domains)
             activity_end = outcome.shutdown_time
         else:
@@ -305,51 +335,96 @@ class SimulationEngine:
         summary = self._summarize(advertiser, profile, account, adv_row, activity_end)
         return account, summary
 
+    def _generate_population(
+        self,
+        materializer,
+        on_day_complete=None,
+    ) -> tuple[list[MaterializedAccount], list[AccountSummary]]:
+        """The Phase-1 day loop, parameterized by the materializer."""
+        config = self.config
+        rng = self._rng_population
+        schedule = FraudShareSchedule(config.population, config.days, rng)
+        accounts: list[MaterializedAccount] = []
+        summaries: list[AccountSummary] = []
+        # Nearly everything allocated here is either retained for the
+        # whole run (entities, summaries) or freed promptly by reference
+        # counting (trimmed columns); cyclic GC only adds pauses that
+        # scale with the live-object count -- about a quarter of
+        # Phase-1 wall time at full scale.  Pause it for the loop.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for day in range(config.days):
+                n_fraud, n_nonfraud = sample_daily_counts(
+                    config.population, schedule, day, rng
+                )
+                flags = [True] * n_fraud + [False] * n_nonfraud
+                for is_fraud in flags:
+                    created_time = day + float(rng.random())
+                    if is_fraud:
+                        prolific = (
+                            rng.random() < config.population.prolific_fraud_fraction
+                        )
+                        banned = tuple(
+                            change.banned_vertical
+                            for change in self.pipeline.policy.changes
+                            if created_time >= change.day + POLICY_LEARNING_LAG_DAYS
+                        )
+                        profile = sample_fraud_profile(
+                            config, rng, prolific, banned_verticals=banned
+                        )
+                    else:
+                        profile = sample_legitimate_profile(config, rng)
+                    account, summary = self._generate_account(
+                        profile,
+                        created_time,
+                        adv_row=len(accounts),
+                        materializer=materializer,
+                    )
+                    accounts.append(account)
+                    summaries.append(summary)
+                if on_day_complete is not None:
+                    on_day_complete(day)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return accounts, summaries
+
     def generate_population(
         self,
         on_day_complete=None,
     ) -> tuple[list[MaterializedAccount], list[AccountSummary]]:
         """Phase 1: create every account with its detection outcome.
 
+        Uses the batched materializer
+        (:func:`~repro.behavior.batch.materialize_account_batch`); the
+        output -- entities, summaries and post-generation RNG stream
+        states -- is bit-identical to
+        :meth:`generate_population_scalar`, which is kept as the
+        differential oracle.
+
         ``on_day_complete(day)``, if given, is invoked after each day's
         registrations are fully generated -- the checkpoint runner's
         instrumentation point for progress reporting and fault
         injection.
         """
-        config = self.config
-        rng = self._rng_population
-        schedule = FraudShareSchedule(config.population, config.days, rng)
-        accounts: list[MaterializedAccount] = []
-        summaries: list[AccountSummary] = []
-        for day in range(config.days):
-            n_fraud, n_nonfraud = sample_daily_counts(
-                config.population, schedule, day, rng
-            )
-            flags = [True] * n_fraud + [False] * n_nonfraud
-            for is_fraud in flags:
-                created_time = day + float(rng.random())
-                if is_fraud:
-                    prolific = (
-                        rng.random() < config.population.prolific_fraud_fraction
-                    )
-                    banned = tuple(
-                        change.banned_vertical
-                        for change in self.pipeline.policy.changes
-                        if created_time >= change.day + POLICY_LEARNING_LAG_DAYS
-                    )
-                    profile = sample_fraud_profile(
-                        config, rng, prolific, banned_verticals=banned
-                    )
-                else:
-                    profile = sample_legitimate_profile(config, rng)
-                account, summary = self._generate_account(
-                    profile, created_time, adv_row=len(accounts)
-                )
-                accounts.append(account)
-                summaries.append(summary)
-            if on_day_complete is not None:
-                on_day_complete(day)
-        return accounts, summaries
+        return self._generate_population(
+            materialize_account_batch, on_day_complete
+        )
+
+    def generate_population_scalar(
+        self,
+        on_day_complete=None,
+    ) -> tuple[list[MaterializedAccount], list[AccountSummary]]:
+        """The pre-vectorization Phase 1, kept as the oracle.
+
+        One entity at a time through
+        :func:`~repro.behavior.factory.materialize_account`.  Slow but
+        simple enough to trust: the differential tests assert
+        :meth:`generate_population` reproduces its accounts, summaries
+        and RNG stream states exactly.
+        """
+        return self._generate_population(materialize_account, on_day_complete)
 
     # ------------------------------------------------------------------
     # Phase 3: auctions

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["AdCopy", "render_ad", "sample_table2", "HOMOGLYPHS"]
+__all__ = ["AdCopy", "render_ad", "templates_for", "sample_table2", "HOMOGLYPHS"]
 
 #: Look-alike character substitutions fraudsters use to evade blacklists.
 HOMOGLYPHS: dict[str, str] = {
@@ -131,6 +131,18 @@ def _is_risky(template: AdCopy) -> bool:
     if tokens & brands:
         return True
     return PHONE_PATTERN.search(template.text()) is not None
+
+
+def templates_for(vertical_name: str) -> list[AdCopy]:
+    """The non-evasive template list :func:`render_ad` draws from.
+
+    Unknown verticals fall back to the generic retail-style templates.
+    Non-evasive rendering picks uniformly from this list and returns
+    the template object itself, so callers with the list in hand can
+    reproduce ``render_ad(name, rng)`` with a single ``rng.integers``
+    draw.
+    """
+    return _TEMPLATES.get(vertical_name, _TEMPLATES["_generic"])
 
 
 def render_ad(

@@ -18,8 +18,11 @@ the US; :func:`market_attractiveness` captures that pull.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
+
+from ..rng import choice_cdf
 
 __all__ = [
     "Country",
@@ -30,6 +33,10 @@ __all__ = [
     "nonfraud_registration_weights",
     "market_attractiveness",
     "query_volume_weights",
+    "fraud_registration_cdf",
+    "nonfraud_registration_cdf",
+    "market_attractiveness_cdf",
+    "query_volume_cdf",
     "home_targeting_prob",
 ]
 
@@ -134,6 +141,41 @@ def market_attractiveness() -> tuple[list[str], np.ndarray]:
 def query_volume_weights() -> tuple[list[str], np.ndarray]:
     """(codes, probabilities) of a random search landing in each market."""
     return country_codes(), _normalized([c.query_volume for c in COUNTRIES])
+
+
+@lru_cache(maxsize=None)
+def fraud_registration_cdf() -> tuple[list[str], np.ndarray]:
+    """Cached (codes, CDF) form of :func:`fraud_registration_weights`.
+
+    The CDF replicates ``Generator.choice``'s internal table so one
+    :func:`repro.rng.draw_index` call reproduces
+    ``rng.choice(len(codes), p=probs)`` exactly (value and stream
+    state) -- the batched population pipeline samples thousands of
+    registration countries without re-normalizing the table each time.
+    """
+    codes, probs = fraud_registration_weights()
+    return codes, choice_cdf(probs)
+
+
+@lru_cache(maxsize=None)
+def nonfraud_registration_cdf() -> tuple[list[str], np.ndarray]:
+    """Cached (codes, CDF) form of :func:`nonfraud_registration_weights`."""
+    codes, probs = nonfraud_registration_weights()
+    return codes, choice_cdf(probs)
+
+
+@lru_cache(maxsize=None)
+def market_attractiveness_cdf() -> tuple[list[str], np.ndarray]:
+    """Cached (codes, CDF) form of :func:`market_attractiveness`."""
+    codes, probs = market_attractiveness()
+    return codes, choice_cdf(probs)
+
+
+@lru_cache(maxsize=None)
+def query_volume_cdf() -> tuple[list[str], np.ndarray]:
+    """Cached (codes, CDF) form of :func:`query_volume_weights`."""
+    codes, probs = query_volume_weights()
+    return codes, choice_cdf(probs)
 
 
 def home_targeting_prob(code: str) -> float:

@@ -21,6 +21,8 @@ import numpy as np
 __all__ = [
     "keyword_pool",
     "keyword_weights",
+    "keyword_cdf",
+    "evasive_keyword_tables",
     "DECORATOR_TOKENS",
     "BRAND_TOKENS",
 ]
@@ -341,3 +343,40 @@ def keyword_weights(vertical_name: str, exponent: float = 1.1) -> np.ndarray:
     ranks = np.arange(1, size + 1, dtype=float)
     weights = ranks**-exponent
     return weights / weights.sum()
+
+
+@lru_cache(maxsize=None)
+def keyword_cdf(vertical_name: str, exponent: float = 1.1) -> np.ndarray:
+    """Cumulative :func:`keyword_weights`, for batched pool sampling.
+
+    Built exactly the way ``Generator.choice`` builds its internal CDF
+    (cumsum, then normalize by the last entry), so inverting uniforms
+    through it with a right-sided ``searchsorted`` reproduces
+    ``rng.choice(len(pool), p=weights)`` draw for draw.
+    """
+    from ..rng import choice_cdf
+
+    return choice_cdf(keyword_weights(vertical_name, exponent=exponent))
+
+
+@lru_cache(maxsize=None)
+def evasive_keyword_tables(
+    vertical_name: str, exponent: float
+) -> tuple[tuple[bool, ...], np.ndarray, np.ndarray]:
+    """(risky mask, safe pool indices, safe CDF) for evasive re-draws.
+
+    Mirrors the brand-avoidance branch of the scalar keyword sampler:
+    ``safe`` is every non-risky pool index and the CDF replays
+    ``rng.choice(len(safe), p=weights[safe] / weights[safe].sum())``
+    bit for bit.  The safe index array is empty when every phrase in
+    the pool trips the blacklist.
+    """
+    from ..rng import choice_cdf
+
+    weights = keyword_weights(vertical_name, exponent=exponent)
+    risky = risky_keyword_mask(vertical_name)
+    safe = [i for i in range(len(weights)) if not risky[i]]
+    if not safe:
+        return risky, np.empty(0, dtype=np.intp), np.empty(0)
+    safe_weights = weights[safe] / weights[safe].sum()
+    return risky, np.asarray(safe, dtype=np.intp), choice_cdf(safe_weights)

@@ -1,0 +1,240 @@
+"""Differential regression: batched materializer vs the scalar factory.
+
+:func:`repro.behavior.batch.materialize_account_batch` must replay the
+scalar factory's RNG draws in the same order on the same stream, so a
+same-seed materialization -- followed by the same ``trim`` -- must
+produce bit-identical accounts: ids, entities, maintenance events,
+offers, and the generator's state afterwards.  The engine-level sweep
+lives in ``tests/simulator/test_population_equivalence.py``; these
+tests isolate the materializer and pin the low-level numpy identities
+the batching relies on.
+"""
+
+from bisect import bisect_right
+
+import numpy as np
+import pytest
+
+from repro.behavior import (
+    IdAllocator,
+    materialize_account,
+    materialize_account_batch,
+    sample_fraud_profile,
+    sample_legitimate_profile,
+)
+from repro.config import small_config
+from repro.entities.advertiser import Advertiser
+from repro.rng import choice_cdf, draw_index, stream
+from repro.taxonomy.geography import country as country_info
+from repro.taxonomy.keywords import (
+    evasive_keyword_tables,
+    keyword_cdf,
+    keyword_pool,
+    keyword_weights,
+)
+
+CREATED_TIME = 3.0
+FIRST_AD_TIME = 3.5
+HORIZON = 120.0
+
+
+def _profiles():
+    """A deterministic mix covering every materializer branch."""
+    config = small_config(seed=55, days=120)
+    rng = stream(55, "population")
+    cases = []
+    for _ in range(12):
+        cases.append(("legit", sample_legitimate_profile(config, rng)))
+    for _ in range(10):
+        cases.append(("fraud", sample_fraud_profile(config, rng, prolific=False)))
+    for _ in range(6):
+        cases.append(("prolific", sample_fraud_profile(config, rng, prolific=True)))
+    return config, cases
+
+
+def _materialize(materializer, profile, config, end_time):
+    rng = stream(4242, "population")
+    ids = IdAllocator()
+    info = country_info(profile.country)
+    advertiser = Advertiser(
+        advertiser_id=1,
+        kind=profile.kind,
+        created_time=CREATED_TIME,
+        country=profile.country,
+        language=info.language,
+        currency=info.currency,
+        activity_scale=profile.activity_scale,
+        quality=profile.quality,
+        evasion_skill=profile.evasion_skill,
+        uses_stolen_payment=profile.uses_stolen_payment,
+    )
+    account = materializer(
+        advertiser, profile, FIRST_AD_TIME, HORIZON, config, ids, rng
+    )
+    account.trim(end_time)
+    account.activity_end = end_time
+    return account, rng.bit_generator.state
+
+
+def _assert_accounts_identical(expected, actual):
+    assert actual.ad_creation_times == expected.ad_creation_times
+    assert actual.kw_creation_times == expected.kw_creation_times
+    assert actual.ad_mod_times == expected.ad_mod_times
+    assert actual.kw_mod_times == expected.kw_mod_times
+    want_campaigns = expected.advertiser.campaigns
+    got_campaigns = actual.advertiser.campaigns
+    assert len(got_campaigns) == len(want_campaigns)
+    for want, got in zip(want_campaigns, got_campaigns):
+        assert got.campaign_id == want.campaign_id
+        assert got.vertical == want.vertical
+        assert got.target_country == want.target_country
+        assert got.created_day == want.created_day
+        assert len(got.ads) == len(want.ads)
+        for theirs, mine in zip(want.ads, got.ads):
+            assert mine.ad_id == theirs.ad_id
+            assert mine.campaign_id == theirs.campaign_id
+            assert mine.copy == theirs.copy
+            assert mine.display_domain == theirs.display_domain
+            assert mine.destination_domain == theirs.destination_domain
+            assert mine.created_day == theirs.created_day
+            assert mine.engagement == theirs.engagement
+            assert mine.modified_count == theirs.modified_count
+        assert len(got.bids) == len(want.bids)
+        for theirs, mine in zip(want.bids, got.bids):
+            assert mine.keyword == theirs.keyword
+            assert mine.match_type == theirs.match_type
+            assert mine.max_bid == theirs.max_bid
+            assert mine.created_day == theirs.created_day
+            assert mine.modified_count == theirs.modified_count
+    assert len(actual.offers) == len(expected.offers)
+    for want, got in zip(expected.offers, actual.offers):
+        assert got.vertical == want.vertical
+        assert got.country == want.country
+        assert got.ad.ad_id == want.ad.ad_id
+        assert got.bid.keyword == want.bid.keyword
+        assert got.bid.match_type == want.bid.match_type
+        assert got.kw_index == want.kw_index
+        assert got.quality == want.quality
+        assert got.click_quality == want.click_quality
+        assert got.active_from == want.active_from
+
+
+class TestMaterializerEquivalence:
+    @pytest.mark.parametrize(
+        "end_time",
+        [
+            pytest.param(HORIZON + 1.0, id="keep-everything"),
+            pytest.param(10.0, id="mid-life-trim"),
+            pytest.param(FIRST_AD_TIME, id="trim-to-nothing"),
+        ],
+    )
+    def test_bit_identical_after_trim(self, end_time):
+        config, cases = _profiles()
+        for label, profile in cases:
+            want, want_state = _materialize(
+                materialize_account, profile, config, end_time
+            )
+            got, got_state = _materialize(
+                materialize_account_batch, profile, config, end_time
+            )
+            assert got_state == want_state, (label, "rng state diverged")
+            _assert_accounts_identical(want, got)
+
+    def test_bid_stats_mirror_trimmed_bid_lists(self):
+        config, cases = _profiles()
+        for _, profile in cases:
+            account, _ = _materialize(
+                materialize_account_batch, profile, config, 10.0
+            )
+            assert account.bid_stats is not None
+            campaigns = account.advertiser.campaigns
+            assert len(account.bid_stats) == len(campaigns)
+            for campaign, stats in zip(campaigns, account.bid_stats):
+                assert len(stats.mcodes) == len(campaign.bids)
+                for bid, max_bid, created in zip(
+                    campaign.bids, stats.max_bids, stats.created
+                ):
+                    assert bid.max_bid == max_bid
+                    assert bid.created_day == created
+
+    def test_lazy_accounts_report_domains_before_trim(self):
+        config, cases = _profiles()
+        for label, profile in cases:
+            rng = stream(4242, "population")
+            info = country_info(profile.country)
+            advertiser = Advertiser(
+                advertiser_id=1,
+                kind=profile.kind,
+                created_time=CREATED_TIME,
+                country=profile.country,
+                language=info.language,
+                currency=info.currency,
+                activity_scale=profile.activity_scale,
+                quality=profile.quality,
+                evasion_skill=profile.evasion_skill,
+                uses_stolen_payment=profile.uses_stolen_payment,
+            )
+            account = materialize_account_batch(
+                advertiser,
+                profile,
+                FIRST_AD_TIME,
+                HORIZON,
+                config,
+                IdAllocator(),
+                rng,
+            )
+            # Fraud accounts build eagerly (the detection content filter
+            # reads their entities); legitimate accounts stay pending.
+            assert (account.pending is None) == profile.is_fraud, label
+            before = account.destination_domains()
+            assert before, label
+            account.trim(HORIZON + 1.0)
+            assert account.pending is None
+            assert account.destination_domains() == before, label
+
+
+class TestBatchingPrimitives:
+    """The numpy identities the batched draw loop is built on."""
+
+    def test_batched_uniforms_match_scalar_draws(self):
+        a = stream(7, "population")
+        b = stream(7, "population")
+        batched = a.random(64)
+        scalar = np.array([b.random() for _ in range(64)])
+        np.testing.assert_array_equal(batched, scalar)
+        assert a.bit_generator.state == b.bit_generator.state
+
+    def test_choice_cdf_replicates_generator_choice(self):
+        weights = keyword_weights("techsupport", exponent=1.8)
+        cdf = choice_cdf(weights)
+        a = stream(11, "population")
+        b = stream(11, "population")
+        for _ in range(500):
+            assert draw_index(a, cdf) == int(b.choice(len(weights), p=weights))
+        assert a.bit_generator.state == b.bit_generator.state
+
+    def test_bisect_matches_searchsorted(self):
+        cdf = keyword_cdf("techsupport", exponent=1.8)
+        cdf_list = cdf.tolist()
+        rng = stream(13, "population")
+        for u in rng.random(2000).tolist():
+            assert bisect_right(cdf_list, u) == int(
+                cdf.searchsorted(u, side="right")
+            )
+
+    def test_evasive_tables_replicate_safe_renormalization(self):
+        for vertical in ("techsupport", "downloads", "luxury"):
+            weights = keyword_weights(vertical, exponent=1.8)
+            risky, safe, safe_cdf = evasive_keyword_tables(vertical, 1.8)
+            assert len(risky) == len(keyword_pool(vertical))
+            if not len(safe):
+                continue
+            safe_weights = weights[safe]
+            expected = choice_cdf(safe_weights / safe_weights.sum())
+            a = stream(17, "population")
+            b = stream(17, "population")
+            for _ in range(200):
+                want = int(safe[int(b.choice(len(safe_weights), p=safe_weights / safe_weights.sum()))])
+                got = int(safe[draw_index(a, np.asarray(safe_cdf))])
+                assert got == want
+            np.testing.assert_array_equal(np.asarray(safe_cdf), expected)

@@ -88,3 +88,25 @@ class TestGuardRails:
         other = runner_config.with_auction(mainline_slots=3)
         with pytest.raises(SimulationError, match="config hash mismatch"):
             CheckpointRunner(other, runner.run_dir).run(resume=True)
+
+    def test_version_mismatch_warns_on_resume(
+        self, completed_run, runner_config, tmp_path
+    ):
+        """A cross-version resume proceeds, but through warnings.warn
+
+        (catchable/filterable by callers), not a bare stderr print.
+        """
+        import json
+        import shutil
+
+        runner, _ = completed_run
+        run_dir = tmp_path / "stale-version"
+        shutil.copytree(runner.run_dir, run_dir)
+        manifest_path = run_dir / "MANIFEST.json"
+        payload = json.loads(manifest_path.read_text())
+        payload["package_version"] = "0.0.0-older"
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.warns(RuntimeWarning, match="written by repro 0.0.0-older"):
+            CheckpointRunner(
+                runner_config, run_dir, checkpoint_every=CHECKPOINT_EVERY
+            ).run(resume=True)

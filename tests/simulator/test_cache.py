@@ -102,3 +102,26 @@ class TestBoundedLru:
         monkeypatch.setenv("REPRO_SIM_CACHE_SIZE", "0")
         with pytest.raises(ConfigError):
             cache._initial_capacity()
+
+    def test_malformed_env_does_not_break_import(self, monkeypatch):
+        """Regression: a bad REPRO_SIM_CACHE_SIZE used to raise at
+        import time (module-level ``_initial_capacity()`` call), so any
+        ``import repro.simulator.cache`` -- e.g. just running the test
+        suite -- crashed before reaching code that could report it.
+        The value must be validated lazily, at first cache use.
+        """
+        import importlib
+
+        from repro.simulator import cache
+
+        monkeypatch.setenv("REPRO_SIM_CACHE_SIZE", "not-a-number")
+        try:
+            module = importlib.reload(cache)  # must not raise
+            with pytest.raises(ConfigError, match="must be an integer"):
+                module.seed_cache(small_config(seed=240, days=20), object())
+            # An explicit runtime capacity overrides the bad env value.
+            module.set_cache_capacity(2)
+            module.clear_cache()
+        finally:
+            monkeypatch.delenv("REPRO_SIM_CACHE_SIZE", raising=False)
+            importlib.reload(cache)

@@ -66,3 +66,19 @@ class TestRunnerCli:
         )
         assert code == 2
         assert "nothing to resume" in capsys.readouterr().err
+
+    def test_invalid_checkpoint_every_fails_cleanly(self, tmp_path, capsys):
+        # Constructor-time ConfigError (checkpoint_every < 1) must exit
+        # like every other ReproError -- code 2 and a one-line message,
+        # not a traceback.
+        code = runner_main(
+            [
+                "--checkpoint-dir",
+                str(tmp_path / "run"),
+                "--small",
+                "--checkpoint-every",
+                "0",
+            ]
+        )
+        assert code == 2
+        assert "checkpoint_every must be >= 1" in capsys.readouterr().err
