@@ -1,0 +1,52 @@
+"""Overhead smoke: JSONL telemetry must stay within 3% of total run time.
+
+The acceptance bar from the observability PR: a fully traced run (every
+span/event/metric buffered into a :class:`JsonlSink`) costs < 3% over
+an untraced run.  Wall-clock comparisons on shared CI boxes are noisy,
+so both sides take the minimum of three runs (the classic noise floor
+estimator) and the assertion allows a small absolute epsilon for
+sub-second configs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.config import small_config
+from repro.obs.sink import JsonlSink
+from repro.simulator.engine import SimulationEngine
+
+RUNS = 3
+RELATIVE_BUDGET = 1.03
+ABSOLUTE_EPSILON_S = 0.05
+
+
+def _timed_run(config, sink=None) -> float:
+    engine = SimulationEngine(config)
+    if sink is not None:
+        obs.add_sink(sink)
+    start = time.perf_counter()
+    try:
+        engine.run()
+    finally:
+        elapsed = time.perf_counter() - start
+        if sink is not None:
+            obs.remove_sink(sink)
+    return elapsed
+
+
+def test_jsonl_sink_overhead_under_three_percent(tmp_path):
+    config = small_config(seed=7, days=60)
+    _timed_run(config)  # warm-up: imports, JIT-ish numpy caches
+
+    baseline = min(_timed_run(config) for _ in range(RUNS))
+    instrumented = min(
+        _timed_run(config, sink=JsonlSink(tmp_path / f"t{i}.jsonl"))
+        for i in range(RUNS)
+    )
+    budget = baseline * RELATIVE_BUDGET + ABSOLUTE_EPSILON_S
+    assert instrumented <= budget, (
+        f"traced run {instrumented:.3f}s exceeds {budget:.3f}s "
+        f"(baseline {baseline:.3f}s)"
+    )

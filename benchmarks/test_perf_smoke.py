@@ -34,6 +34,18 @@ def test_bench_engine_quick_emits_well_formed_json(tmp_path):
     phases = record["phases"]
     for key in ("population_s", "market_build_s", "auctions_s", "total_s"):
         assert phases[key] >= 0.0
+    # Span-derived breakdown: each phase reports its hottest sub-spans.
+    detail = record["phases_detail"]
+    assert set(detail) == {
+        "phase1.population",
+        "phase2.market",
+        "phase3.auctions",
+    }
+    assert "phase1.day" in detail["phase1.population"]
+    assert "phase3.day" in detail["phase3.auctions"]
+    for sub in detail["phase3.auctions"].values():
+        assert sub["count"] > 0
+        assert sub["total_s"] >= 0.0
     assert record["impressions"]["rows"] > 0
     assert record["impressions"]["rows_per_sec"] > 0
     # Not requested, so the oracle comparison must be absent.

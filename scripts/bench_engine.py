@@ -1,12 +1,18 @@
 """Simulation-engine phase benchmark.
 
-Times the three engine phases (population generation, market build,
-the Phase-3 auction loop) and records the results as JSON so the perf
+Runs one fully traced simulation (``repro.obs`` spans captured with a
+memory sink) and records the per-phase timings as JSON so the perf
 trajectory is tracked across PRs::
 
     PYTHONPATH=src python scripts/bench_engine.py                  # default config
     PYTHONPATH=src python scripts/bench_engine.py --quick          # test-scale config
     PYTHONPATH=src python scripts/bench_engine.py --compare-scalar # also time the oracle
+
+Phase timings come from the engine's own span instrumentation
+(``phase1.population`` / ``phase2.market`` / ``phase3.auctions``), so
+the bench measures exactly what ``python -m repro.obs report`` shows
+for a real run, and ``phases_detail`` breaks each phase into its
+hottest sub-spans (gather, kernel, per-day loop).
 
 ``--compare-scalar`` additionally runs the retained scalar auction loop
 (:meth:`SimulationEngine.run_auctions_scalar`) on an identically-seeded
@@ -26,13 +32,24 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.config import default_config, small_config
 from repro.records.impressions import ImpressionBuilder
 from repro.simulator.engine import SimulationEngine
 from repro.simulator.market import MarketIndex
 
-SCHEMA = "repro.bench_engine/v1"
+SCHEMA = "repro.bench_engine/v2"
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Span name of each reported phase (JSON key -> engine span).
+PHASE_SPANS = {
+    "population_s": "phase1.population",
+    "market_build_s": "phase2.market",
+    "auctions_s": "phase3.auctions",
+}
+
+#: Sub-spans reported per phase in ``phases_detail``.
+DETAIL_TOP_N = 5
 
 
 def _build_config(quick: bool, seed: int | None):
@@ -41,30 +58,63 @@ def _build_config(quick: bool, seed: int | None):
     return default_config() if seed is None else default_config(seed=seed)
 
 
+def _descendant_totals(spans: list[dict], root_id: int) -> dict[str, dict]:
+    """Aggregate every descendant of ``root_id`` by span name."""
+    children: dict[int, list[dict]] = {}
+    for span in spans:
+        children.setdefault(span["parent"], []).append(span)
+    totals: dict[str, dict] = {}
+    frontier = [root_id]
+    while frontier:
+        parent = frontier.pop()
+        for span in children.get(parent, ()):
+            bucket = totals.setdefault(
+                span["name"], {"count": 0, "total_s": 0.0}
+            )
+            bucket["count"] += 1
+            bucket["total_s"] += span["dur"]
+            frontier.append(span["id"])
+    return {
+        name: {"count": agg["count"], "total_s": round(agg["total_s"], 4)}
+        for name, agg in totals.items()
+    }
+
+
 def _run_phases(config) -> dict:
     engine = SimulationEngine(config)
-    t0 = time.perf_counter()
-    accounts, _ = engine.generate_population()
-    t1 = time.perf_counter()
-    market = MarketIndex(accounts)
-    market.country_volume_check()
-    t2 = time.perf_counter()
-    builder = ImpressionBuilder()
-    engine.run_auctions(market, builder)
-    t3 = time.perf_counter()
-    table = builder.build()
-    auctions_s = t3 - t2
+    with obs.capture() as sink:
+        result = engine.run()
+    spans = [e for e in sink.events if e["kind"] == "span"]
+    by_name = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(span)
+
+    phases: dict[str, float] = {}
+    detail: dict[str, dict] = {}
+    for key, span_name in PHASE_SPANS.items():
+        phase_spans = by_name.get(span_name, [])
+        phases[key] = round(sum(s["dur"] for s in phase_spans), 4)
+        sub = {}
+        for phase_span in phase_spans:
+            for name, agg in _descendant_totals(spans, phase_span["id"]).items():
+                bucket = sub.setdefault(name, {"count": 0, "total_s": 0.0})
+                bucket["count"] += agg["count"]
+                bucket["total_s"] = round(
+                    bucket["total_s"] + agg["total_s"], 4
+                )
+        top = sorted(sub.items(), key=lambda kv: -kv[1]["total_s"])
+        detail[span_name] = dict(top[:DETAIL_TOP_N])
+    phases["total_s"] = round(sum(s["dur"] for s in by_name.get("run", [])), 4)
+
+    rows = len(result.impressions)
+    auctions_s = phases["auctions_s"]
     return {
-        "phases": {
-            "population_s": round(t1 - t0, 4),
-            "market_build_s": round(t2 - t1, 4),
-            "auctions_s": round(auctions_s, 4),
-            "total_s": round(t3 - t0, 4),
-        },
+        "phases": phases,
+        "phases_detail": detail,
         "impressions": {
-            "rows": len(table),
+            "rows": rows,
             "rows_per_sec": (
-                round(len(table) / auctions_s, 1) if auctions_s > 0 else None
+                round(rows / auctions_s, 1) if auctions_s > 0 else None
             ),
         },
     }

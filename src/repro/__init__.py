@@ -12,6 +12,7 @@ The per-figure/table experiments live in :mod:`repro.experiments`; run
 ``python -m repro.experiments all`` to regenerate every paper artifact.
 """
 
+from . import obs
 from ._version import __version__
 from .config import (
     AuctionConfig,
@@ -33,6 +34,7 @@ from .errors import (
     SimulationError,
     SubsetError,
 )
+from .obs import setup_logging
 from .simulator import (
     SimulationEngine,
     SimulationResult,
@@ -43,6 +45,8 @@ from .timeline import Window, named_windows, quarter_window
 
 __all__ = [
     "__version__",
+    "obs",
+    "setup_logging",
     "SimulationConfig",
     "PopulationConfig",
     "QueryConfig",

@@ -30,11 +30,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..config import AuctionConfig
 from .pricing import gsp_price_array
 from .slots import layout_counts
 
 __all__ = ["BatchAuctionResult", "run_auction_batch"]
+
+# Observability handles: pure Python counters/spans, no RNG contact
+# (the kernel draws nothing anyway -- ranking and pricing are
+# deterministic given the candidate arrays).
+_KERNEL_CANDIDATES = obs.counter("auction.kernel_candidates")
+_KERNEL_SHOWN = obs.counter("auction.kernel_shown")
 
 
 @dataclass(frozen=True)
@@ -124,6 +131,35 @@ def run_auction_batch(
         A :class:`BatchAuctionResult`; rows are ordered by segment and,
         within a segment, by page position.
     """
+    with obs.span(
+        "auction.kernel", candidates=len(segment), segments=n_segments
+    ):
+        result = _run_auction_batch(
+            segment,
+            advertiser_id,
+            ad_id,
+            max_bid,
+            quality,
+            fraud_labeled,
+            config,
+            n_segments,
+        )
+    _KERNEL_CANDIDATES.inc(len(segment))
+    _KERNEL_SHOWN.inc(len(result))
+    return result
+
+
+def _run_auction_batch(
+    segment: np.ndarray,
+    advertiser_id: np.ndarray,
+    ad_id: np.ndarray,
+    max_bid: np.ndarray,
+    quality: np.ndarray,
+    fraud_labeled: np.ndarray,
+    config: AuctionConfig,
+    n_segments: int,
+) -> BatchAuctionResult:
+    """The uninstrumented kernel body (see :func:`run_auction_batch`)."""
     n = len(segment)
     if n == 0:
         return _empty_result(n_segments)

@@ -44,6 +44,7 @@ from bisect import bisect_left, bisect_right
 
 import numpy as np
 
+from .. import obs
 from ..auction.quality import MATCH_RELEVANCE
 from ..config import SimulationConfig
 from ..entities.ad import Ad
@@ -80,6 +81,16 @@ _MATCH_TYPES: tuple[MatchType, ...] = (
 _MATCH_RELEVANCE: tuple[float, ...] = tuple(
     MATCH_RELEVANCE[mt] for mt in _MATCH_TYPES
 )
+
+# Observability handles (repro.obs): plain attribute bumps driven by
+# values the draw loop computed anyway -- no RNG stream is touched.
+# ``draws_recorded`` counts recorded draw columns (ad creations,
+# keyword picks, maintenance events); ``entities_built`` counts the
+# Ad/KeywordBid objects actually constructed, which for legitimate
+# accounts is the post-trim survivor set only.
+_ACCOUNTS_MATERIALIZED = obs.counter("population.accounts_materialized")
+_DRAWS_RECORDED = obs.counter("population.draws_recorded")
+_ENTITIES_BUILT = obs.counter("population.entities_built")
 
 
 class _PendingEntities:
@@ -252,6 +263,7 @@ class _PendingEntities:
                 )
             )
 
+        _ENTITIES_BUILT.inc(len(ads) + n_bids_kept + n_campaigns)
         account.bid_stats = bid_stats
         if end_time is not None:
             account.ad_creation_times = account.ad_creation_times[:n_ads]
@@ -522,6 +534,13 @@ def materialize_account_batch(
     else:
         account.pending = pending
 
+    _ACCOUNTS_MATERIALIZED.inc()
+    _DRAWS_RECORDED.inc(
+        len(ad_creation_times)
+        + len(kw_creation_times)
+        + len(ad_mod_times)
+        + len(kw_mod_times)
+    )
     for campaign in campaigns:
         country_info(campaign.target_country)
     return account

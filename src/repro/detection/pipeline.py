@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..behavior.factory import MaterializedAccount
 from ..behavior.profiles import AdvertiserProfile
 from ..config import DetectionConfig, QueryConfig
@@ -160,6 +161,9 @@ class DetectionPipeline:
         """Record an enforcement action and grow the domain blacklist."""
         if outcome.shutdown_time is None or outcome.reason is None:
             return
+        # Per-stage shutdown telemetry; a counter bump only -- the
+        # pipeline's RNG draws happened before commit() is reached.
+        obs.counter(f"detection.shutdowns.{outcome.reason.value}").inc()
         self.records.append(
             DetectionRecord.make(
                 advertiser_id,

@@ -1,0 +1,186 @@
+"""repro.obs: structured tracing, metrics, and run telemetry.
+
+A zero-dependency observability layer threaded through the whole
+simulation stack:
+
+* **spans** (:mod:`~repro.obs.trace`) -- context-manager/decorator
+  timing with monotonic clocks and parent/child nesting;
+* **metrics** (:mod:`~repro.obs.metrics`) -- counters, gauges, and
+  fixed-bucket histograms with module-level handles cheap enough for
+  hot loops;
+* **sinks** (:mod:`~repro.obs.sink`) -- no-op default, stderr logging
+  (:mod:`~repro.obs.logsetup`), and a crash-safe JSONL file sink the
+  checkpoint runner writes into its run directory;
+* **profiling** (:mod:`~repro.obs.profile`) -- opt-in per-phase
+  cProfile dumps via ``REPRO_PROFILE=1``;
+* **reporting** -- ``python -m repro.obs report <run-dir>`` renders
+  ``telemetry.jsonl`` into a phase-tree timing table and metric
+  summary (:mod:`~repro.obs.report`).
+
+The package-level functions (:func:`span`, :func:`event`,
+:func:`counter`, ...) operate on one process-global tracer and metrics
+registry, which is what the instrumented modules use.  The hard
+invariant: nothing in this layer ever touches the named RNG streams,
+so a fully traced run is bit-identical to an untraced one.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from .logsetup import LOG_LEVEL_ENV, get_logger, setup_logging
+from .metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .profile import PROFILE_ENV, maybe_profile, profiling_enabled
+from .sink import (
+    TELEMETRY_NAME,
+    JsonlSink,
+    LogSink,
+    MemorySink,
+    NullSink,
+    Sink,
+)
+from .trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "LogSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "Sink",
+    "Span",
+    "Tracer",
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "HEARTBEAT_ENV",
+    "LOG_LEVEL_ENV",
+    "PROFILE_ENV",
+    "TELEMETRY_NAME",
+    "add_sink",
+    "capture",
+    "counter",
+    "event",
+    "gauge",
+    "get_logger",
+    "heartbeat_every",
+    "histogram",
+    "maybe_profile",
+    "metrics",
+    "profiling_enabled",
+    "publish_metrics",
+    "remove_sink",
+    "setup_logging",
+    "span",
+    "trace",
+    "tracer",
+]
+
+#: Days between progress heartbeat events in the engine's day loops.
+HEARTBEAT_ENV = "REPRO_OBS_HEARTBEAT_EVERY"
+DEFAULT_HEARTBEAT_EVERY = 25
+
+_TRACER = Tracer()
+_METRICS = MetricsRegistry()
+
+
+def tracer() -> Tracer:
+    """The process-global tracer the instrumented modules emit to."""
+    return _TRACER
+
+
+def metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _METRICS
+
+
+def span(name: str, **attrs):
+    """Open a span on the global tracer (context manager)."""
+    return _TRACER.span(name, **attrs)
+
+
+def trace(name: str | None = None):
+    """Decorator form of :func:`span` on the global tracer."""
+    return _TRACER.trace(name)
+
+
+def event(name: str, **attrs) -> None:
+    """Emit a point event on the global tracer."""
+    _TRACER.event(name, **attrs)
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create a counter in the global registry."""
+    return _METRICS.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get-or-create a gauge in the global registry."""
+    return _METRICS.gauge(name)
+
+
+def histogram(
+    name: str, buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS
+) -> Histogram:
+    """Get-or-create a fixed-bucket histogram in the global registry."""
+    return _METRICS.histogram(name, buckets)
+
+
+def add_sink(sink: Sink) -> None:
+    """Attach a sink to the global tracer."""
+    _TRACER.add_sink(sink)
+
+
+def remove_sink(sink: Sink) -> None:
+    """Detach a sink from the global tracer."""
+    _TRACER.remove_sink(sink)
+
+
+@contextmanager
+def capture() -> Iterator[MemorySink]:
+    """Collect every event emitted inside the block (tests, benches)."""
+    sink = MemorySink()
+    _TRACER.add_sink(sink)
+    try:
+        yield sink
+    finally:
+        _TRACER.remove_sink(sink)
+
+
+def publish_metrics() -> None:
+    """Emit a cumulative metrics snapshot event to the attached sinks."""
+    if _TRACER.sinks:
+        _TRACER.emit(
+            {
+                "t": round(_TRACER.now(), 6),
+                "kind": "metrics",
+                "data": _METRICS.snapshot(),
+            }
+        )
+
+
+def heartbeat_every() -> int:
+    """Day interval between heartbeat events (0 disables them).
+
+    Read from ``REPRO_OBS_HEARTBEAT_EVERY`` on every call so tests and
+    long-lived processes can adjust it; malformed values fall back to
+    the default rather than aborting a simulation over telemetry.
+    """
+    raw = os.environ.get(HEARTBEAT_ENV)
+    if raw is None:
+        return DEFAULT_HEARTBEAT_EVERY
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_HEARTBEAT_EVERY

@@ -1,0 +1,65 @@
+"""Telemetry report CLI.
+
+Render the phase-tree timing table and metric summary recorded in a
+checkpoint-runner run directory (or any telemetry JSONL file)::
+
+    python -m repro.obs report RUNS/x
+    python -m repro.obs report RUNS/x/telemetry.jsonl
+
+The report goes to stdout; diagnostics go to stderr via logging.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .logsetup import get_logger, setup_logging
+from .report import load_events, render_report, report_path
+
+log = get_logger("obs.cli")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect run telemetry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="render telemetry.jsonl as a timing/metric report"
+    )
+    report.add_argument(
+        "target",
+        type=Path,
+        help="run directory (containing telemetry.jsonl) or a JSONL file",
+    )
+    args = parser.parse_args(argv)
+
+    setup_logging()
+    path = report_path(args.target)
+    if not path.exists():
+        log.error("no telemetry found at %s", path)
+        return 2
+    try:
+        events = load_events(path)
+    except ValueError as exc:
+        log.error("%s", exc)
+        return 2
+    try:
+        print(render_report(events, source=path))
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream consumer closed early (`... | head`): normal for a
+        # report CLI.  Point stdout at devnull so the interpreter's
+        # exit-time flush doesn't raise the same error again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

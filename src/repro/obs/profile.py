@@ -1,0 +1,51 @@
+"""Opt-in cProfile hooks.
+
+Setting ``REPRO_PROFILE=1`` in the environment makes
+:func:`maybe_profile` wrap the enclosed block in a
+:class:`cProfile.Profile` and dump ``<name>.prof`` into the given
+directory (the checkpoint runner passes its run dir, so a profiled run
+leaves ``phase1.prof`` / ``phase3.prof`` next to ``telemetry.jsonl``).
+With the variable unset (or ``0``/``false``/empty) the context manager
+is inert -- production runs pay nothing.
+
+Inspect a dump with the stdlib::
+
+    python -m pstats RUNS/x/phase3.prof
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["PROFILE_ENV", "profiling_enabled", "maybe_profile"]
+
+PROFILE_ENV = "REPRO_PROFILE"
+
+_FALSY = ("", "0", "false", "no", "off")
+
+
+def profiling_enabled() -> bool:
+    """Whether ``REPRO_PROFILE`` requests per-phase profile dumps."""
+    return os.environ.get(PROFILE_ENV, "").strip().lower() not in _FALSY
+
+
+@contextmanager
+def maybe_profile(name: str, out_dir: str | Path) -> Iterator[object | None]:
+    """Profile the block into ``<out_dir>/<name>.prof`` when enabled."""
+    if not profiling_enabled():
+        yield None
+        return
+    import cProfile
+
+    profile = cProfile.Profile()
+    target = Path(out_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    profile.enable()
+    try:
+        yield profile
+    finally:
+        profile.disable()
+        profile.dump_stats(target / f"{name}.prof")

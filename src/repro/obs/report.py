@@ -1,0 +1,194 @@
+"""Render a run's ``telemetry.jsonl`` into a human-readable report.
+
+The report has three sections:
+
+* **span tree** -- every span aggregated by its name-path (the chain
+  of ancestor span names), rendered as an indented timing table with
+  count / total / mean / max columns;
+* **events** -- point events (checkpoints, heartbeats, faults)
+  aggregated by name, with the attributes of the last occurrence;
+* **metrics** -- the *last* metrics snapshot in the file (snapshots
+  are cumulative, so the last one is the run's final state).
+
+Used by ``python -m repro.obs report <run-dir>``; importable directly
+for tests and notebooks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .sink import TELEMETRY_NAME
+
+__all__ = ["load_events", "aggregate_spans", "render_report", "report_path"]
+
+
+def report_path(target: str | Path) -> Path:
+    """Resolve a run directory or explicit file path to the JSONL file."""
+    path = Path(target)
+    if path.is_dir():
+        return path / TELEMETRY_NAME
+    return path
+
+
+def load_events(path: str | Path) -> list[dict]:
+    """Parse a telemetry JSONL file into a list of event dicts.
+
+    Raises ``ValueError`` naming the offending line on malformed
+    content -- the atomic-flush protocol means a healthy file never
+    contains a torn line, so damage is worth surfacing loudly.
+    """
+    events: list[dict] = []
+    text = Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{lineno}: malformed telemetry line ({exc})"
+            ) from None
+        if not isinstance(event, dict):
+            raise ValueError(f"{path}:{lineno}: event is not a JSON object")
+        events.append(event)
+    return events
+
+
+def aggregate_spans(events: list[dict]) -> dict[tuple[str, ...], dict]:
+    """Aggregate span events by name-path.
+
+    Returns ``{(root, ..., name): {"count", "total", "max"}}``.  Spans
+    whose parent never made it to the file (an open span lost in a
+    crash) are treated as roots.
+    """
+    spans = [e for e in events if e.get("kind") == "span"]
+    by_id = {e["id"]: e for e in spans if "id" in e}
+    aggregated: dict[tuple[str, ...], dict] = {}
+    for span in spans:
+        names = [str(span.get("name", "?"))]
+        parent = span.get("parent")
+        hops = 0
+        while parent is not None and parent in by_id and hops < 64:
+            ancestor = by_id[parent]
+            names.append(str(ancestor.get("name", "?")))
+            parent = ancestor.get("parent")
+            hops += 1
+        path = tuple(reversed(names))
+        record = aggregated.setdefault(
+            path, {"count": 0, "total": 0.0, "max": 0.0}
+        )
+        duration = float(span.get("dur", 0.0))
+        record["count"] += 1
+        record["total"] += duration
+        record["max"] = max(record["max"], duration)
+    return aggregated
+
+
+def _render_span_tree(aggregated: dict[tuple[str, ...], dict]) -> list[str]:
+    name_width = max(
+        [len("  " * (len(path) - 1) + path[-1]) for path in aggregated],
+        default=4,
+    )
+    name_width = max(name_width, len("span"))
+    lines = [
+        f"{'span':<{name_width}}  {'count':>7}  {'total_s':>10}  "
+        f"{'mean_s':>10}  {'max_s':>10}"
+    ]
+
+    def walk(prefix: tuple[str, ...]) -> None:
+        depth = len(prefix)
+        children = sorted(
+            {
+                path[: depth + 1]
+                for path in aggregated
+                if len(path) > depth and path[:depth] == prefix
+            },
+            key=lambda p: -aggregated.get(p, {"total": 0.0})["total"],
+        )
+        for child in children:
+            record = aggregated.get(child)
+            if record is not None:
+                label = "  " * depth + child[-1]
+                mean = record["total"] / record["count"]
+                lines.append(
+                    f"{label:<{name_width}}  {record['count']:>7}  "
+                    f"{record['total']:>10.3f}  {mean:>10.4f}  "
+                    f"{record['max']:>10.4f}"
+                )
+            walk(child)
+
+    walk(())
+    return lines
+
+
+def _render_events(events: list[dict]) -> list[str]:
+    point_events = [e for e in events if e.get("kind") == "event"]
+    if not point_events:
+        return []
+    by_name: dict[str, dict] = {}
+    for event in point_events:
+        name = str(event.get("name", "?"))
+        record = by_name.setdefault(name, {"count": 0, "last": {}})
+        record["count"] += 1
+        record["last"] = event.get("attrs") or {}
+    lines = ["events:"]
+    for name in sorted(by_name):
+        record = by_name[name]
+        last = ", ".join(f"{k}={v}" for k, v in record["last"].items())
+        suffix = f"  (last: {last})" if last else ""
+        lines.append(f"  {name} x{record['count']}{suffix}")
+    return lines
+
+
+def _render_metrics(events: list[dict]) -> list[str]:
+    snapshot = None
+    for event in events:
+        if event.get("kind") == "metrics":
+            snapshot = event.get("data")
+    if not snapshot:
+        return []
+    lines = ["metrics (last snapshot):"]
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    histograms = snapshot.get("histograms") or {}
+    width = max(
+        (len(name) for name in (*counters, *gauges, *histograms)), default=4
+    )
+    if counters:
+        lines.append("  counters:")
+        for name, value in counters.items():
+            lines.append(f"    {name:<{width}}  {value:>14,}")
+    if gauges:
+        lines.append("  gauges:")
+        for name, value in gauges.items():
+            lines.append(f"    {name:<{width}}  {value:>14,.1f}")
+    if histograms:
+        lines.append("  histograms:")
+        for name, data in histograms.items():
+            count = data.get("count", 0)
+            total = data.get("sum", 0.0)
+            mean = total / count if count else 0.0
+            lines.append(
+                f"    {name:<{width}}  count={count} sum={total:.3f} "
+                f"mean={mean:.4f}"
+            )
+    return lines
+
+
+def render_report(events: list[dict], source: str | Path | None = None) -> str:
+    """Full text report for one telemetry event list."""
+    header = "telemetry report" + (f": {source}" if source else "")
+    sections: list[list[str]] = [[header, f"{len(events)} events"]]
+    aggregated = aggregate_spans(events)
+    if aggregated:
+        sections.append(_render_span_tree(aggregated))
+    event_lines = _render_events(events)
+    if event_lines:
+        sections.append(event_lines)
+    metric_lines = _render_metrics(events)
+    if metric_lines:
+        sections.append(metric_lines)
+    return "\n\n".join("\n".join(section) for section in sections)

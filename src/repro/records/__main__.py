@@ -13,9 +13,13 @@ import argparse
 import sys
 from pathlib import Path
 
+from .. import obs
 from ..config import default_config, small_config
+from ..errors import ReproError
 from ..simulator.cache import cached_simulation
 from .io import write_impressions_csv, write_records_jsonl
+
+log = obs.get_logger("records.cli")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -25,6 +29,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--small", action="store_true")
     parser.add_argument("--seed", type=int, default=None)
     args = parser.parse_args(argv)
+    obs.setup_logging()
     if args.small:
         config = small_config() if args.seed is None else small_config(seed=args.seed)
     else:
@@ -32,14 +37,18 @@ def main(argv: list[str] | None = None) -> int:
             default_config() if args.seed is None else default_config(seed=args.seed)
         )
     args.output_dir.mkdir(parents=True, exist_ok=True)
-    result = cached_simulation(config)
+    try:
+        result = cached_simulation(config)
 
-    customers = args.output_dir / "customers.jsonl"
-    detections = args.output_dir / "detections.jsonl"
-    impressions = args.output_dir / "impressions.csv"
-    n_customers = write_records_jsonl(result.customer_records(), customers)
-    n_detections = write_records_jsonl(result.detections, detections)
-    write_impressions_csv(result.impressions, impressions)
+        customers = args.output_dir / "customers.jsonl"
+        detections = args.output_dir / "detections.jsonl"
+        impressions = args.output_dir / "impressions.csv"
+        n_customers = write_records_jsonl(result.customer_records(), customers)
+        n_detections = write_records_jsonl(result.detections, detections)
+        write_impressions_csv(result.impressions, impressions)
+    except ReproError as exc:
+        log.error("%s", exc)
+        return 2
     print(f"{n_customers} customer records -> {customers}")
     print(f"{n_detections} detection records -> {detections}")
     print(f"{len(result.impressions)} impression rows -> {impressions}")

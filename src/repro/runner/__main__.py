@@ -13,14 +13,15 @@ The run directory carries everything needed to continue: see
 from __future__ import annotations
 
 import argparse
-import sys
-import time
 from dataclasses import replace
 from pathlib import Path
 
+from .. import obs
 from ..config import default_config, small_config
 from ..errors import ReproError
 from ..records.atomic import atomic_write_text
+
+log = obs.get_logger("runner.cli")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -58,6 +59,7 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the validation report to this path",
     )
     args = parser.parse_args(argv)
+    obs.setup_logging()
 
     config = small_config() if args.small else default_config()
     if args.seed is not None:
@@ -67,16 +69,18 @@ def main(argv: list[str] | None = None) -> int:
 
     from .runner import CheckpointRunner
 
-    started = time.time()
+    # Monotonic clock (the tracer's): wall-clock steps from NTP slew
+    # must not corrupt the reported elapsed time.
+    started = obs.tracer().now()
     try:
         runner = CheckpointRunner(
             config, args.checkpoint_dir, checkpoint_every=args.checkpoint_every
         )
         result = runner.run(resume=args.resume)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        log.error("%s", exc)
         return 2
-    elapsed = time.time() - started
+    elapsed = obs.tracer().now() - started
     print(
         f"simulated {config.days} days in {elapsed:.0f}s "
         f"(run dir: {args.checkpoint_dir})"
@@ -92,7 +96,7 @@ def main(argv: list[str] | None = None) -> int:
         try:
             report = render_report(run_validation(result))
         except ReproError as exc:
-            print(f"error: validation failed: {exc}", file=sys.stderr)
+            log.error("validation failed: %s", exc)
             return 2
         atomic_write_text(args.report, report + "\n")
         print(f"wrote {args.report}")

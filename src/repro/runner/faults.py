@@ -43,6 +43,8 @@ import json
 from dataclasses import dataclass
 from typing import Iterable
 
+from .. import obs
+
 __all__ = ["CRASH", "TRUNCATE_CHUNK", "CORRUPT_MANIFEST", "Fault", "FaultPlan", "InjectedCrash"]
 
 CRASH = "crash"
@@ -115,6 +117,11 @@ class FaultPlan:
             _truncate_tail_chunk(runner, int(fault.detail or 64))
         elif fault.action == CORRUPT_MANIFEST:
             _corrupt_manifest(runner, str(fault.detail or "config_sha256"))
+        # Make the injected fault itself durable: real crashes leave no
+        # trace, but *injected* ones are the tool that debugs recovery,
+        # so flush the attached sinks before dying.
+        obs.event("runner.fault", site=site, day=day, action=fault.action)
+        obs.tracer().flush()
         raise InjectedCrash(f"injected {fault.action} at {where}")
 
 

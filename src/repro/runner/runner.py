@@ -47,8 +47,10 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import obs
 from ..config import SimulationConfig
 from ..errors import ConfigError, SimulationError
+from ..obs.sink import TELEMETRY_NAME, JsonlSink
 from ..records.atomic import atomic_write_bytes, sha256_bytes, sha256_file
 from ..records.impressions import ImpressionBuilder, ImpressionTable
 from ..simulator.engine import SimulationEngine
@@ -57,13 +59,18 @@ from ..simulator.results import SimulationResult
 from .faults import FaultPlan
 from .manifest import MANIFEST_NAME, ChunkEntry, RunManifest, config_sha256
 
-__all__ = ["CheckpointRunner", "PHASE1_NAME", "MARKET_NAME"]
+__all__ = ["CheckpointRunner", "PHASE1_NAME", "MARKET_NAME", "TELEMETRY_NAME"]
 
 PHASE1_NAME = "phase1.pkl"
 MARKET_NAME = "market.pkl"
 CHUNK_DIR = "chunks"
 
 _CHUNK_FIELDS = set(ImpressionTable.field_names())
+
+# Runner telemetry handles (repro.obs).
+_CHUNKS_WRITTEN = obs.counter("runner.chunks_written")
+_CHUNKS_VERIFIED = obs.counter("runner.chunks_verified")
+_TAILS_DISCARDED = obs.counter("runner.tail_chunks_discarded")
 
 
 class CheckpointRunner:
@@ -75,17 +82,20 @@ class CheckpointRunner:
         run_dir: str | Path,
         checkpoint_every: int = 7,
         faults: FaultPlan | None = None,
+        telemetry: bool = True,
     ) -> None:
         if checkpoint_every < 1:
             raise ConfigError("checkpoint_every must be >= 1")
         self.config = config
         self.run_dir = Path(run_dir)
         self.checkpoint_every = checkpoint_every
+        self.telemetry = telemetry
         self.manifest_path = self.run_dir / MANIFEST_NAME
         self.chunk_dir = self.run_dir / CHUNK_DIR
         self.phase1_path = self.run_dir / PHASE1_NAME
         self.market_path = self.run_dir / MARKET_NAME
         self._faults = faults if faults is not None else FaultPlan()
+        self._sink: JsonlSink | None = None
 
     # ------------------------------------------------------------------
     # Entry point
@@ -97,6 +107,14 @@ class CheckpointRunner:
         ``resume`` may be ``True`` (a manifest must exist), ``False``
         (the directory must not contain one), or ``"auto"`` (resume if
         a manifest exists, else start fresh).
+
+        With ``telemetry`` enabled (the default) a
+        :class:`~repro.obs.sink.JsonlSink` writes ``telemetry.jsonl``
+        into the run directory, flushed atomically at every durable
+        checkpoint -- so the telemetry on disk never describes more
+        than the manifest guarantees.  A crash loses only the events
+        buffered since the last checkpoint, exactly as it loses the
+        impression rows since then; resume appends to the same file.
         """
         has_manifest = self.manifest_path.exists()
         if resume is True and not has_manifest:
@@ -111,44 +129,84 @@ class CheckpointRunner:
         resuming = has_manifest
 
         self.chunk_dir.mkdir(parents=True, exist_ok=True)
-        engine = SimulationEngine(self.config)
-        if resuming:
-            manifest = RunManifest.load(self.manifest_path)
-            self._check_compatible(manifest)
-            manifest.checkpoint_every = self.checkpoint_every
-        else:
-            manifest = RunManifest.fresh(self.config, self.checkpoint_every)
-            manifest.save(self.manifest_path)
-
-        if manifest.phase == "phase1":
-            summaries, market = self._run_phase1(engine, manifest)
-        else:
-            summaries, market = self._load_phase1(engine, manifest)
-
-        chunks = self._validate_chunks(manifest)
-        if manifest.phase != "complete":
-            states = manifest.resume_rng()
-            if states is None:
-                raise SimulationError(
-                    f"{self.manifest_path}: no RNG snapshot to resume from"
+        if self.telemetry:
+            self._sink = JsonlSink(self.run_dir / TELEMETRY_NAME)
+            obs.add_sink(self._sink)
+        try:
+            result = self._run(resuming)
+            if self._sink is not None:
+                obs.event(
+                    "runner.complete",
+                    days=self.config.days,
+                    rows=len(result.impressions),
                 )
-            engine.set_rng_state(states)
-            chunks += self._run_phase3(engine, market, manifest)
-            self._faults.fire("finalize", runner=self)
-            manifest.phase = "complete"
-            manifest.save(self.manifest_path)
+                obs.publish_metrics()
+                self._sink.flush()
+            return result
+        finally:
+            # On an exception (including an injected or real crash
+            # surfacing as one) the un-flushed tail is dropped: the
+            # durable telemetry stays whatever the last checkpoint
+            # flushed, mirroring the run state itself.
+            if self._sink is not None:
+                obs.remove_sink(self._sink)
+                self._sink = None
 
-        builder = ImpressionBuilder()
-        for chunk in chunks:
-            if len(chunk["day"]):
-                builder.add_batch(**chunk)
-        return SimulationResult(
-            config=self.config,
-            accounts=summaries,
-            impressions=builder.build(),
-            detections=list(engine.pipeline.records),
-            policy_changes=list(engine.pipeline.policy.changes),
-        )
+    def _run(self, resuming: bool) -> SimulationResult:
+        """The checkpointed run body (telemetry sink already attached)."""
+        engine = SimulationEngine(self.config)
+        with obs.span("runner.run", resuming=resuming, days=self.config.days):
+            if resuming:
+                manifest = RunManifest.load(self.manifest_path)
+                self._check_compatible(manifest)
+                manifest.checkpoint_every = self.checkpoint_every
+                obs.event(
+                    "runner.resume",
+                    phase=manifest.phase,
+                    next_day=manifest.next_day,
+                    chunks=len(manifest.chunks),
+                )
+            else:
+                manifest = RunManifest.fresh(self.config, self.checkpoint_every)
+                manifest.save(self.manifest_path)
+                obs.event(
+                    "runner.start",
+                    seed=self.config.seed,
+                    days=self.config.days,
+                    checkpoint_every=self.checkpoint_every,
+                )
+
+            if manifest.phase == "phase1":
+                with obs.maybe_profile("phase1", self.run_dir):
+                    summaries, market = self._run_phase1(engine, manifest)
+            else:
+                summaries, market = self._load_phase1(engine, manifest)
+
+            chunks = self._validate_chunks(manifest)
+            if manifest.phase != "complete":
+                states = manifest.resume_rng()
+                if states is None:
+                    raise SimulationError(
+                        f"{self.manifest_path}: no RNG snapshot to resume from"
+                    )
+                engine.set_rng_state(states)
+                with obs.maybe_profile("phase3", self.run_dir):
+                    chunks += self._run_phase3(engine, market, manifest)
+                self._faults.fire("finalize", runner=self)
+                manifest.phase = "complete"
+                manifest.save(self.manifest_path)
+
+            builder = ImpressionBuilder()
+            for chunk in chunks:
+                if len(chunk["day"]):
+                    builder.add_batch(**chunk)
+            return SimulationResult(
+                config=self.config,
+                accounts=summaries,
+                impressions=builder.build(),
+                detections=list(engine.pipeline.records),
+                policy_changes=list(engine.pipeline.policy.changes),
+            )
 
     # ------------------------------------------------------------------
     # Phase 1 + 2: population and market snapshots
@@ -254,9 +312,17 @@ class CheckpointRunner:
                             {name: archive[name] for name in archive.files}
                         )
             if intact:
+                _CHUNKS_VERIFIED.inc()
                 continue
             is_tail = index == len(manifest.chunks) - 1
             if is_tail and manifest.phase != "complete":
+                _TAILS_DISCARDED.inc()
+                obs.event(
+                    "runner.tail_discarded",
+                    file=entry.file,
+                    day_start=entry.day_start,
+                    day_end=entry.day_end,
+                )
                 manifest.chunks.pop()
                 manifest.save(self.manifest_path)
                 path.unlink(missing_ok=True)
@@ -269,6 +335,7 @@ class CheckpointRunner:
         keep = {(self.run_dir / entry.file).name for entry in manifest.chunks}
         for stray in self.chunk_dir.iterdir():
             if stray.name not in keep:
+                obs.event("runner.stray_removed", file=stray.name)
                 stray.unlink()
         return loaded
 
@@ -323,3 +390,15 @@ class CheckpointRunner:
             )
         )
         manifest.save(self.manifest_path)
+        _CHUNKS_WRITTEN.inc()
+        obs.event(
+            "runner.checkpoint",
+            day_start=day_start,
+            day_end=day_end,
+            rows=int(len(chunk["day"])),
+            file=f"{CHUNK_DIR}/{path.name}",
+        )
+        # The manifest just became durable; make the telemetry match it.
+        if self._sink is not None:
+            obs.publish_metrics()
+            self._sink.flush()

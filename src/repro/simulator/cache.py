@@ -21,6 +21,7 @@ from __future__ import annotations
 import os
 from collections import OrderedDict
 
+from .. import obs
 from ..config import SimulationConfig
 from ..errors import ConfigError
 from .engine import run_simulation
@@ -38,6 +39,12 @@ __all__ = [
 DEFAULT_CACHE_CAPACITY = 8
 
 _CACHE: OrderedDict[SimulationConfig, SimulationResult] = OrderedDict()
+
+# Cache telemetry (repro.obs): hit/miss/eviction counters surface how
+# well experiment sweeps share simulations.
+_HITS = obs.counter("simcache.hits")
+_MISSES = obs.counter("simcache.misses")
+_EVICTIONS = obs.counter("simcache.evictions")
 
 
 def _initial_capacity() -> int:
@@ -72,6 +79,7 @@ def _evict() -> None:
     capacity = _current_capacity()
     while len(_CACHE) > capacity:
         _CACHE.popitem(last=False)
+        _EVICTIONS.inc()
 
 
 def set_cache_capacity(capacity: int) -> None:
@@ -87,10 +95,12 @@ def cached_simulation(config: SimulationConfig) -> SimulationResult:
     """Run (or reuse) the simulation for ``config``."""
     result = _CACHE.get(config)
     if result is None:
+        _MISSES.inc()
         result = run_simulation(config)
         _CACHE[config] = result
         _evict()
     else:
+        _HITS.inc()
         _CACHE.move_to_end(config)
     return result
 

@@ -38,6 +38,7 @@ import gc
 
 import numpy as np
 
+from .. import obs
 from ..auction.batch import run_auction_batch
 from ..auction.gsp import Candidate, run_auction
 from ..behavior.batch import materialize_account_batch
@@ -78,6 +79,18 @@ RNG_STREAMS: tuple[str, ...] = (
 #: Mean days before a legitimate account goes dormant (stops running
 #: campaigns) -- keeps the active population roughly stationary.
 LEGIT_DORMANCY_MEAN_DAYS = 300.0
+
+# Observability handles (repro.obs).  Counter/gauge bumps are plain
+# attribute adds and never touch the named RNG streams; spans use the
+# monotonic clock only.  A traced run is bit-identical to an untraced
+# one -- tests/obs/test_determinism.py pins that invariant.
+_ROWS_EMITTED = obs.counter("auction.rows_emitted")
+_QUERIES_SAMPLED = obs.counter("auction.queries_sampled")
+_CANDIDATES_GATHERED = obs.counter("auction.candidates_gathered")
+_CLICK_DRAWS = obs.counter("clicks.poisson_draws")
+_DAY_ROWS = obs.histogram("auction.day_rows", obs.DEFAULT_SIZE_BUCKETS)
+_ROWS_PER_S = obs.gauge("auction.rows_per_s")
+_ACCOUNTS_PER_S = obs.gauge("population.accounts_per_s")
 #: Days after a policy ban before new fraud entrants stop choosing the
 #: banned vertical (word gets around the affiliate forums).
 POLICY_LEARNING_LAG_DAYS = 30.0
@@ -346,6 +359,9 @@ class SimulationEngine:
         schedule = FraudShareSchedule(config.population, config.days, rng)
         accounts: list[MaterializedAccount] = []
         summaries: list[AccountSummary] = []
+        mode = "scalar" if materializer is materialize_account else "batch"
+        heartbeat = obs.heartbeat_every()
+        tracer = obs.tracer()
         # Nearly everything allocated here is either retained for the
         # whole run (entities, summaries) or freed promptly by reference
         # counting (trimmed columns); cyclic GC only adds pauses that
@@ -354,37 +370,53 @@ class SimulationEngine:
         gc_was_enabled = gc.isenabled()
         gc.disable()
         try:
-            for day in range(config.days):
-                n_fraud, n_nonfraud = sample_daily_counts(
-                    config.population, schedule, day, rng
-                )
-                flags = [True] * n_fraud + [False] * n_nonfraud
-                for is_fraud in flags:
-                    created_time = day + float(rng.random())
-                    if is_fraud:
-                        prolific = (
-                            rng.random() < config.population.prolific_fraud_fraction
+            with obs.span(
+                "phase1.population", days=config.days, materializer=mode
+            ) as phase_span:
+                for day in range(config.days):
+                    with obs.span("phase1.day", day=day):
+                        n_fraud, n_nonfraud = sample_daily_counts(
+                            config.population, schedule, day, rng
                         )
-                        banned = tuple(
-                            change.banned_vertical
-                            for change in self.pipeline.policy.changes
-                            if created_time >= change.day + POLICY_LEARNING_LAG_DAYS
+                        flags = [True] * n_fraud + [False] * n_nonfraud
+                        for is_fraud in flags:
+                            created_time = day + float(rng.random())
+                            if is_fraud:
+                                prolific = (
+                                    rng.random()
+                                    < config.population.prolific_fraud_fraction
+                                )
+                                banned = tuple(
+                                    change.banned_vertical
+                                    for change in self.pipeline.policy.changes
+                                    if created_time
+                                    >= change.day + POLICY_LEARNING_LAG_DAYS
+                                )
+                                profile = sample_fraud_profile(
+                                    config, rng, prolific, banned_verticals=banned
+                                )
+                            else:
+                                profile = sample_legitimate_profile(config, rng)
+                            account, summary = self._generate_account(
+                                profile,
+                                created_time,
+                                adv_row=len(accounts),
+                                materializer=materializer,
+                            )
+                            accounts.append(account)
+                            summaries.append(summary)
+                    if heartbeat and (day + 1) % heartbeat == 0:
+                        elapsed = tracer.now() - phase_span.start
+                        if elapsed > 0:
+                            _ACCOUNTS_PER_S.set(len(accounts) / elapsed)
+                        obs.event(
+                            "heartbeat",
+                            phase="phase1",
+                            day=day,
+                            accounts=len(accounts),
                         )
-                        profile = sample_fraud_profile(
-                            config, rng, prolific, banned_verticals=banned
-                        )
-                    else:
-                        profile = sample_legitimate_profile(config, rng)
-                    account, summary = self._generate_account(
-                        profile,
-                        created_time,
-                        adv_row=len(accounts),
-                        materializer=materializer,
-                    )
-                    accounts.append(account)
-                    summaries.append(summary)
-                if on_day_complete is not None:
-                    on_day_complete(day)
+                    if on_day_complete is not None:
+                        on_day_complete(day)
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -476,12 +508,29 @@ class SimulationEngine:
         auction_config = config.auction
         exam_table = examination_table(config.click, auction_config.total_slots)
         tables = [match_table(v.name) for v in VERTICALS]
-        for day in range(start_day, config.days):
-            self._run_auction_day(
-                day, market, builder, sampler, exam_table, tables
-            )
-            if on_day_complete is not None:
-                on_day_complete(day)
+        heartbeat = obs.heartbeat_every()
+        tracer = obs.tracer()
+        # The builder may be drained mid-loop (checkpoint chunks), so
+        # progress is tracked off the cumulative rows counter instead.
+        rows_at_start = _ROWS_EMITTED.value
+        with obs.span(
+            "phase3.auctions", start_day=start_day, days=config.days
+        ) as phase_span:
+            for day in range(start_day, config.days):
+                with obs.span("phase3.day", day=day):
+                    self._run_auction_day(
+                        day, market, builder, sampler, exam_table, tables
+                    )
+                if heartbeat and (day + 1) % heartbeat == 0:
+                    elapsed = tracer.now() - phase_span.start
+                    rows = _ROWS_EMITTED.value - rows_at_start
+                    if elapsed > 0:
+                        _ROWS_PER_S.set(rows / elapsed)
+                    obs.event(
+                        "heartbeat", phase="phase3", day=day, rows=rows
+                    )
+                if on_day_complete is not None:
+                    on_day_complete(day)
 
     def _run_auction_day(
         self,
@@ -503,6 +552,7 @@ class SimulationEngine:
             return
         queries = sampler.sample_day(self._rng_queries)
         n_queries = len(queries)
+        _QUERIES_SAMPLED.inc(n_queries)
         weight = np.empty(n_queries, dtype=np.float64)
         vertical = np.empty(n_queries, dtype=np.int16)
         country = np.empty(n_queries, dtype=np.int16)
@@ -530,7 +580,9 @@ class SimulationEngine:
         mcode_all = np.concatenate(mcode_chunks)
         query_of_key = np.repeat(np.arange(n_queries), counts)
         keys = bucket_keys(np.repeat(cell_ids, counts), kw_all, mcode_all)
-        rows, key_index = buckets.gather(keys)
+        with obs.span("auction.gather", keys=len(keys)):
+            rows, key_index = buckets.gather(keys)
+        _CANDIDATES_GATHERED.inc(int(rows.size))
         if rows.size == 0:
             return
         segments = query_of_key[key_index]
@@ -558,6 +610,9 @@ class SimulationEngine:
         positive = np.flatnonzero(lam > 0)
         if positive.size:
             clicks[positive] = rng_clicks.poisson(lam[positive])
+        _CLICK_DRAWS.inc(int(positive.size))
+        _ROWS_EMITTED.inc(len(lam))
+        _DAY_ROWS.observe(len(lam))
         builder.add_batch(
             day=np.full(len(lam), time),
             advertiser_id=market.advertiser_id[shown_rows],
@@ -656,21 +711,23 @@ class SimulationEngine:
 
     def run(self, keep_entities: bool = False) -> SimulationResult:
         """Run all three phases and return the bundled result."""
-        accounts, summaries = self.generate_population()
-        market = MarketIndex(accounts)
-        market.country_volume_check()
-        builder = ImpressionBuilder()
-        self.run_auctions(market, builder)
-        return SimulationResult(
-            config=self.config,
-            accounts=summaries,
-            impressions=builder.build(),
-            detections=list(self.pipeline.records),
-            policy_changes=list(self.pipeline.policy.changes),
-            advertisers=(
-                [a.advertiser for a in accounts] if keep_entities else []
-            ),
-        )
+        with obs.span("run", seed=self.config.seed, days=self.config.days):
+            accounts, summaries = self.generate_population()
+            with obs.span("phase2.market", accounts=len(accounts)):
+                market = MarketIndex(accounts)
+                market.country_volume_check()
+            builder = ImpressionBuilder()
+            self.run_auctions(market, builder)
+            return SimulationResult(
+                config=self.config,
+                accounts=summaries,
+                impressions=builder.build(),
+                detections=list(self.pipeline.records),
+                policy_changes=list(self.pipeline.policy.changes),
+                advertisers=(
+                    [a.advertiser for a in accounts] if keep_entities else []
+                ),
+            )
 
 
 def run_simulation(

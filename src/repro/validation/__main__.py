@@ -8,9 +8,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .. import obs
 from ..config import default_config, small_config
+from ..errors import ReproError
 from ..simulator.cache import cached_simulation
 from .suite import render_report, run_validation
+
+log = obs.get_logger("validation.cli")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -25,14 +29,23 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero if any target misses its band",
     )
     args = parser.parse_args(argv)
+    obs.setup_logging()
     if args.small:
         config = small_config() if args.seed is None else small_config(seed=args.seed)
     else:
         config = (
             default_config() if args.seed is None else default_config(seed=args.seed)
         )
-    result = cached_simulation(config)
-    checks = run_validation(result)
+    # A failed simulation or validation run must exit 2 (mirroring the
+    # runner CLI), not escape as a traceback: before this guard,
+    # ``--strict`` in a shell pipeline could conflate "targets missed"
+    # with "validator crashed".
+    try:
+        result = cached_simulation(config)
+        checks = run_validation(result)
+    except ReproError as exc:
+        log.error("%s", exc)
+        return 2
     print(render_report(checks))
     if args.strict and any(not check.ok for check in checks):
         return 1

@@ -1,0 +1,65 @@
+"""The hard invariant: telemetry never perturbs the simulation.
+
+Every stochastic draw comes from the five named RNG streams;
+``repro.obs`` must not touch them.  A run traced through the JSONL
+sink therefore has to be *bit-identical* to an untraced run -- same
+impression bytes, same detections, and the same serialized RNG states
+at the end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.config import small_config
+from repro.obs.sink import JsonlSink
+from repro.simulator.engine import SimulationEngine
+
+
+@pytest.fixture(scope="module")
+def config():
+    return small_config(seed=11, days=40)
+
+
+def _run(config, sink=None):
+    engine = SimulationEngine(config)
+    if sink is not None:
+        obs.add_sink(sink)
+    try:
+        result = engine.run()
+    finally:
+        if sink is not None:
+            obs.remove_sink(sink)
+    return result, engine.rng_state()
+
+
+def test_traced_run_is_bit_identical(config, tmp_path):
+    plain_result, plain_rng = _run(config)
+    sink = JsonlSink(tmp_path / "telemetry.jsonl")
+    traced_result, traced_rng = _run(config, sink=sink)
+    sink.flush()
+
+    for name in plain_result.impressions.field_names():
+        want = getattr(plain_result.impressions, name)
+        got = getattr(traced_result.impressions, name)
+        assert got.dtype == want.dtype, name
+        assert np.array_equal(got, want), f"column {name} differs"
+    assert traced_result.detections == plain_result.detections
+    assert traced_result.policy_changes == plain_result.policy_changes
+    # Identical *serialized* RNG states: not a single extra draw.
+    assert traced_rng == plain_rng
+    # And the trace actually captured the run.
+    assert len(sink) > 0
+
+
+def test_heartbeat_cadence_does_not_change_results(config, monkeypatch):
+    monkeypatch.delenv(obs.HEARTBEAT_ENV, raising=False)
+    _, default_rng = _run(config)
+    monkeypatch.setenv(obs.HEARTBEAT_ENV, "1")
+    with obs.capture() as sink:
+        _, chatty_rng = _run(config)
+    assert chatty_rng == default_rng
+    heartbeats = [e for e in sink.events if e.get("name") == "heartbeat"]
+    assert len(heartbeats) >= 2 * config.days - 2

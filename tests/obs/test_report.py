@@ -1,0 +1,121 @@
+"""Tests for telemetry loading/aggregation and the report CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main as obs_main
+from repro.obs.report import (
+    aggregate_spans,
+    load_events,
+    render_report,
+    report_path,
+)
+
+
+def _span(span_id, parent, name, dur=0.5):
+    return {
+        "t": 1.0,
+        "kind": "span",
+        "name": name,
+        "id": span_id,
+        "parent": parent,
+        "start": 0.5,
+        "dur": dur,
+        "attrs": {},
+    }
+
+
+def _write(path, events):
+    path.write_text(
+        "\n".join(json.dumps(e, separators=(",", ":")) for e in events) + "\n"
+    )
+
+
+class TestLoadEvents:
+    def test_round_trips_jsonl(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        events = [_span(1, None, "run"), {"t": 2.0, "kind": "event", "name": "e", "attrs": {}}]
+        _write(path, events)
+        assert load_events(path) == events
+
+    def test_malformed_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text('{"kind":"span"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            load_events(path)
+
+    def test_non_object_line_raises(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text("[1,2,3]\n")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            load_events(path)
+
+    def test_report_path_resolves_directories(self, tmp_path):
+        assert report_path(tmp_path).name == "telemetry.jsonl"
+        explicit = tmp_path / "other.jsonl"
+        assert report_path(explicit) == explicit
+
+
+class TestAggregateSpans:
+    def test_name_paths_follow_parents(self):
+        events = [
+            _span(1, None, "run", dur=2.0),
+            _span(2, 1, "phase", dur=1.0),
+            _span(3, 2, "day", dur=0.4),
+            _span(4, 2, "day", dur=0.6),
+        ]
+        agg = aggregate_spans(events)
+        assert agg[("run",)]["count"] == 1
+        assert agg[("run", "phase", "day")]["count"] == 2
+        assert agg[("run", "phase", "day")]["total"] == pytest.approx(1.0)
+        assert agg[("run", "phase", "day")]["max"] == pytest.approx(0.6)
+
+    def test_orphaned_span_becomes_root(self):
+        # Parent id 99 never reached the file (lost in a crash).
+        agg = aggregate_spans([_span(1, 99, "day")])
+        assert ("day",) in agg
+
+
+class TestReportCli:
+    def _sample_events(self):
+        return [
+            _span(1, None, "run", dur=2.0),
+            _span(2, 1, "phase3.auctions", dur=1.5),
+            {"t": 2.0, "kind": "event", "name": "runner.checkpoint",
+             "attrs": {"day_end": 7}},
+            {"t": 2.5, "kind": "metrics",
+             "data": {"counters": {"auction.rows_emitted": 123},
+                      "gauges": {}, "histograms": {}}},
+        ]
+
+    def test_report_renders_all_sections(self, tmp_path, capsys):
+        _write(tmp_path / "telemetry.jsonl", self._sample_events())
+        assert obs_main(["report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "phase3.auctions" in out
+        assert "runner.checkpoint x1" in out
+        assert "auction.rows_emitted" in out
+        assert "123" in out
+
+    def test_report_accepts_explicit_file(self, tmp_path, capsys):
+        path = tmp_path / "custom.jsonl"
+        _write(path, self._sample_events())
+        assert obs_main(["report", str(path)]) == 0
+        assert "4 events" in capsys.readouterr().out
+
+    def test_missing_telemetry_exits_2(self, tmp_path, capsys):
+        assert obs_main(["report", str(tmp_path / "void")]) == 2
+        assert "no telemetry" in capsys.readouterr().err
+
+    def test_malformed_telemetry_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text("garbage\n")
+        assert obs_main(["report", str(tmp_path)]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_render_report_mentions_source(self):
+        text = render_report(self._sample_events(), source="RUNS/x")
+        assert text.startswith("telemetry report: RUNS/x")
