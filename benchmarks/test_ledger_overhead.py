@@ -1,0 +1,48 @@
+"""Overhead smoke: the day ledger must stay within 3% of run time.
+
+Acceptance bar from the cross-run observability PR: collecting the
+marketplace-health timeseries (one :class:`DayLedger` fed from Phase 1,
+the detection pipeline, and the auction kernel) costs < 3% over an
+unledgered run.  Same noise-floor protocol as the telemetry overhead
+bench: minimum of three runs per side plus a small absolute epsilon
+for sub-second configs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.config import small_config
+from repro.obs.timeseries import DayLedger
+from repro.simulator.engine import SimulationEngine
+
+RUNS = 3
+RELATIVE_BUDGET = 1.03
+ABSOLUTE_EPSILON_S = 0.05
+
+
+def _timed_run(config, ledgered: bool) -> float:
+    engine = SimulationEngine(config)
+    ledger = DayLedger(days=config.days) if ledgered else None
+    prior = obs.set_dayledger(ledger)
+    start = time.perf_counter()
+    try:
+        engine.run()
+    finally:
+        elapsed = time.perf_counter() - start
+        obs.set_dayledger(prior)
+    return elapsed
+
+
+def test_dayledger_overhead_under_three_percent():
+    config = small_config(seed=7, days=60)
+    _timed_run(config, ledgered=False)  # warm-up
+
+    baseline = min(_timed_run(config, ledgered=False) for _ in range(RUNS))
+    ledgered = min(_timed_run(config, ledgered=True) for _ in range(RUNS))
+    budget = baseline * RELATIVE_BUDGET + ABSOLUTE_EPSILON_S
+    assert ledgered <= budget, (
+        f"ledgered run {ledgered:.3f}s exceeds {budget:.3f}s "
+        f"(baseline {baseline:.3f}s)"
+    )

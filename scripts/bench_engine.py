@@ -39,7 +39,9 @@ from repro.simulator.engine import SimulationEngine
 from repro.simulator.market import MarketIndex
 
 SCHEMA = "repro.bench_engine/v2"
-DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = _REPO_ROOT / "BENCH_engine.json"
+DEFAULT_HISTORY = _REPO_ROOT / "BENCH_history.jsonl"
 
 #: Span name of each reported phase (JSON key -> engine span).
 PHASE_SPANS = {
@@ -151,6 +153,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also run the scalar oracle auction loop and record the speedup",
     )
+    parser.add_argument(
+        "--append-history",
+        action="store_true",
+        help="also append a compact record to the benchmark history file",
+    )
+    parser.add_argument(
+        "--history-out",
+        type=Path,
+        default=DEFAULT_HISTORY,
+        help=(
+            "history JSONL path for --append-history "
+            "(default: BENCH_history.jsonl at repo root)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     config = _build_config(args.quick, args.seed)
@@ -183,6 +199,25 @@ def main(argv: list[str] | None = None) -> int:
         }
 
     args.out.write_text(json.dumps(record, indent=2) + "\n")
+    if args.append_history:
+        # One compact line per measurement: enough to plot the perf
+        # trajectory across PRs (and for `repro.obs diff` consumers)
+        # without carrying the full nested detail of BENCH_engine.json.
+        history_line = {
+            "measured_at": record["measured_at"],
+            "preset": record["config"]["preset"],
+            "seed": record["config"]["seed"],
+            "days": record["config"]["days"],
+            "phases": record["phases"],
+            "rows": record["impressions"]["rows"],
+            "rows_per_sec": record["impressions"]["rows_per_sec"],
+        }
+        with args.history_out.open("a") as handle:
+            handle.write(
+                json.dumps(history_line, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+        print(f"appended history -> {args.history_out}")
     phases = record["phases"]
     print(
         f"population {phases['population_s']:.2f}s | "

@@ -4,11 +4,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..auction.gsp import ShownAd
 from ..config import ClickConfig
 from .position_bias import examination_probability
 
 __all__ = ["click_probability", "sample_clicks"]
+
+# Observability handle (repro.obs): total clicks drawn, scalar path.
+# The batched engine path bumps the same counter with its vectorized
+# draw's sum -- either way the bump happens *after* the RNG draw, so
+# tracing never perturbs the click stream.
+_CLICKS_DRAWN = obs.counter("clickmodel.clicks_drawn")
 
 
 def click_probability(shown: ShownAd, config: ClickConfig) -> float:
@@ -38,4 +45,6 @@ def sample_clicks(
     mean = weight * click_probability(shown, config)
     if mean <= 0:
         return 0
-    return int(rng.poisson(mean))
+    clicks = int(rng.poisson(mean))
+    _CLICKS_DRAWN.inc(clicks)
+    return clicks

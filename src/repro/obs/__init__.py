@@ -48,10 +48,12 @@ from .sink import (
     NullSink,
     Sink,
 )
+from .timeseries import DAYLEDGER_NAME, DayLedger
 from .trace import Span, Tracer
 
 __all__ = [
     "Counter",
+    "DayLedger",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -62,6 +64,7 @@ __all__ = [
     "Sink",
     "Span",
     "Tracer",
+    "DAYLEDGER_NAME",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
     "HEARTBEAT_ENV",
@@ -71,6 +74,7 @@ __all__ = [
     "add_sink",
     "capture",
     "counter",
+    "dayledger",
     "event",
     "gauge",
     "get_logger",
@@ -81,6 +85,7 @@ __all__ = [
     "profiling_enabled",
     "publish_metrics",
     "remove_sink",
+    "set_dayledger",
     "setup_logging",
     "span",
     "trace",
@@ -93,6 +98,31 @@ DEFAULT_HEARTBEAT_EVERY = 25
 
 _TRACER = Tracer()
 _METRICS = MetricsRegistry()
+_DAYLEDGER: DayLedger | None = None
+
+
+def dayledger() -> DayLedger | None:
+    """The attached day ledger, or ``None`` when none is collecting.
+
+    Instrumented call sites fetch this once per day (never per row) and
+    skip all ledger work when it returns ``None`` -- an unledgered run
+    pays one attribute read per day.
+    """
+    return _DAYLEDGER
+
+
+def set_dayledger(ledger: DayLedger | None) -> DayLedger | None:
+    """Attach (or with ``None`` detach) the process-global day ledger.
+
+    Returns the previously attached ledger so callers can restore it --
+    the checkpoint runner attaches its run's ledger for the duration of
+    :meth:`~repro.runner.runner.CheckpointRunner.run` and restores the
+    prior value on exit.
+    """
+    global _DAYLEDGER
+    previous = _DAYLEDGER
+    _DAYLEDGER = ledger
+    return previous
 
 
 def tracer() -> Tracer:

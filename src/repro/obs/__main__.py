@@ -1,17 +1,26 @@
-"""Telemetry report CLI.
+"""Observability CLI: reports, the run registry, and cross-run diffs.
 
-Render the phase-tree timing table and metric summary recorded in a
-checkpoint-runner run directory (or any telemetry JSONL file)::
+::
 
-    python -m repro.obs report RUNS/x
-    python -m repro.obs report RUNS/x/telemetry.jsonl
+    python -m repro.obs report RUNS/x             # timing/metric report
+    python -m repro.obs runs index RUNS/          # build RUNS/runs.json
+    python -m repro.obs runs list RUNS/           # registry table
+    python -m repro.obs runs show RUNS/x          # one run's summary
+    python -m repro.obs diff RUNS/a RUNS/b        # compare two runs
+    python -m repro.obs diff RUNS/a RUNS/b --fail-on drift=0,phase_time=0.25
 
-The report goes to stdout; diagnostics go to stderr via logging.
+Reports go to stdout; diagnostics go to stderr via logging.  ``diff``
+exits 0 when every ``--fail-on`` rule holds, 1 on a violation, and 2
+when inputs are unreadable.  ``report`` on a run with missing or
+damaged telemetry prints a notice and exits 0 -- absent telemetry is a
+normal state (``telemetry=False`` runs), not an error.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
 
@@ -21,13 +30,96 @@ from .report import load_events, render_report, report_path
 log = get_logger("obs.cli")
 
 
+def _print(text: str) -> None:
+    """Print, tolerating a consumer that closed the pipe early."""
+    try:
+        print(text)
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream consumer closed early (`... | head`): normal for a
+        # report CLI.  Point stdout at devnull so the interpreter's
+        # exit-time flush doesn't raise the same error again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    path = report_path(args.target)
+    if not path.exists():
+        _print(f"no telemetry found at {path} (run recorded none)")
+        return 0
+    try:
+        events = load_events(path)
+    except ValueError as exc:
+        _print(f"no usable telemetry at {path}: {exc}")
+        return 0
+    _print(render_report(events, source=path))
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from .registry import RUNS_INDEX_NAME, index_runs, render_runs_table, summarize_run
+
+    if args.action == "show":
+        summary = summarize_run(args.root)
+        if summary is None:
+            log.error("%s: no readable run manifest", args.root)
+            return 2
+        _print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    out = args.out
+    if args.action == "index" and out is None:
+        out = Path(args.root) / RUNS_INDEX_NAME
+    index = index_runs(args.root, out=out)
+    if args.action == "index":
+        _print(f"indexed {len(index['runs'])} run(s) -> {out}")
+    else:
+        _print(render_runs_table(index))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .diff import (
+        diff_runs,
+        evaluate_fail_on,
+        load_run,
+        parse_fail_on,
+        render_diff,
+    )
+
+    try:
+        rules = parse_fail_on(args.fail_on)
+    except ValueError as exc:
+        log.error("%s", exc)
+        return 2
+    try:
+        data_a = load_run(args.run_a)
+        data_b = load_run(args.run_b)
+    except FileNotFoundError as exc:
+        log.error("%s", exc)
+        return 2
+    diff = diff_runs(data_a, data_b)
+    _print(render_diff(diff))
+    violations = evaluate_fail_on(diff, rules)
+    if violations:
+        _print("")
+        _print("FAIL:")
+        for violation in violations:
+            _print(f"  {violation}")
+        return 1
+    if rules:
+        _print("")
+        _print(f"ok: {len(rules)} rule(s) held")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Inspect run telemetry.",
+        description="Inspect and compare run telemetry.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
     report = sub.add_parser(
         "report", help="render telemetry.jsonl as a timing/metric report"
     )
@@ -36,29 +128,50 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         help="run directory (containing telemetry.jsonl) or a JSONL file",
     )
+    report.set_defaults(func=_cmd_report)
+
+    runs = sub.add_parser(
+        "runs", help="index / list / show run directories (runs.json)"
+    )
+    runs.add_argument(
+        "action",
+        choices=("index", "list", "show"),
+        help="index: write runs.json; list: table; show: one run's JSON",
+    )
+    runs.add_argument(
+        "root",
+        type=Path,
+        help="directory of run dirs (or, for show, one run dir)",
+    )
+    runs.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="where to write the index (default: <root>/runs.json)",
+    )
+    runs.set_defaults(func=_cmd_runs)
+
+    diff = sub.add_parser(
+        "diff", help="compare two run directories (timings, metrics, ledger)"
+    )
+    diff.add_argument("run_a", type=Path, help="baseline run directory")
+    diff.add_argument("run_b", type=Path, help="candidate run directory")
+    diff.add_argument(
+        "--fail-on",
+        action="append",
+        default=[],
+        metavar="RULE=THRESHOLD",
+        help=(
+            "gate rule(s): drift=FRAC (ledger series divergence), "
+            "phase_time=FRAC (phase regression), validation=N (new "
+            "misses); repeatable or comma-separated"
+        ),
+    )
+    diff.set_defaults(func=_cmd_diff)
+
     args = parser.parse_args(argv)
-
     setup_logging()
-    path = report_path(args.target)
-    if not path.exists():
-        log.error("no telemetry found at %s", path)
-        return 2
-    try:
-        events = load_events(path)
-    except ValueError as exc:
-        log.error("%s", exc)
-        return 2
-    try:
-        print(render_report(events, source=path))
-        sys.stdout.flush()
-    except BrokenPipeError:
-        # Downstream consumer closed early (`... | head`): normal for a
-        # report CLI.  Point stdout at devnull so the interpreter's
-        # exit-time flush doesn't raise the same error again.
-        import os
-
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-    return 0
+    return args.func(args)
 
 
 if __name__ == "__main__":

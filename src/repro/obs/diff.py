@@ -1,0 +1,405 @@
+"""Cross-run comparison: ``python -m repro.obs diff <run-a> <run-b>``.
+
+Compares two checkpoint-runner run directories along every axis the
+run artifacts record:
+
+* **phase timings** -- total seconds per phase span (from each run's
+  ``telemetry.jsonl``), with the relative regression of B against A;
+* **final metrics** -- the last cumulative counter snapshot of each
+  run, flagging counters whose values differ;
+* **validation** -- the pass/miss sets (``validation.json`` or the
+  report text), flagging targets that passed in A but miss in B;
+* **day-ledger series** -- the per-day marketplace-health timeseries
+  (``dayledger.jsonl``), reporting the maximum relative divergence per
+  series and, when either run records a policy change, the pre/post
+  policy-window means so regime shifts can be compared across runs.
+
+``--fail-on`` turns the comparison into a CI gate.  Rules (repeatable,
+comma-separable):
+
+``drift=FRAC``
+    Fail if any ledger series diverges relatively by more than
+    ``FRAC`` on any day (``drift=0`` demands byte-level agreement --
+    what a fresh vs. resumed same-seed pair must satisfy).
+``phase_time=FRAC``
+    Fail if any phase of B took more than ``(1 + FRAC)`` times its A
+    duration (``phase_time=0.25`` = "no phase regressed by >25%").
+``validation=N``
+    Fail if more than ``N`` targets that passed in A miss in B.
+
+Exit codes: 0 -- compared (and every rule held); 1 -- at least one
+rule violated; 2 -- a run directory was unreadable or a rule
+malformed.  A rule whose inputs are missing on *both* sides is skipped
+(nothing to compare); missing on one side only is a violation of that
+rule, because "the artifact disappeared" is itself a regression.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .registry import (
+    PHASE_NAMES,
+    last_metrics,
+    load_validation,
+    phase_totals,
+)
+from .report import load_events, report_path
+from .timeseries import DAYLEDGER_NAME, load_rows, policy_days, rows_to_series
+
+__all__ = [
+    "RunData",
+    "RunDiff",
+    "load_run",
+    "diff_runs",
+    "parse_fail_on",
+    "evaluate_fail_on",
+    "render_diff",
+]
+
+#: Days on each side of a policy change over which window means are
+#: computed (four weeks -- matches the paper's quarter-scale framing of
+#: the Year-2 regime shift without washing it out).
+POLICY_WINDOW_DAYS = 28
+
+#: Ledger series whose day totals are compared under ``drift=``.
+#: Derived ratios are recomputed from these, so comparing the raw sums
+#: plus the derived values adds no information but costs nothing.
+
+
+@dataclass
+class RunData:
+    """Everything the diff reads from one run directory."""
+
+    path: Path
+    phases: dict[str, float] | None
+    metrics: dict | None
+    validation: dict | None
+    ledger_rows: list[dict] | None
+    notes: list[str] = field(default_factory=list)
+
+
+@dataclass
+class RunDiff:
+    """The comparison of two runs, axis by axis."""
+
+    a: RunData
+    b: RunData
+    #: phase -> (seconds_a, seconds_b), phases present in either run.
+    phases: dict[str, tuple[float | None, float | None]]
+    #: counter -> (value_a, value_b), only where the values differ.
+    counter_deltas: dict[str, tuple[float, float]]
+    #: targets that passed in A but miss (or vanished) in B.
+    new_misses: list[str]
+    #: series name -> max relative divergence across days.
+    series_divergence: dict[str, float]
+    #: policy day -> series -> {"a": (pre, post), "b": (pre, post)}.
+    policy_windows: dict[int, dict[str, dict[str, tuple[float, float]]]]
+
+
+def load_run(run_dir: str | Path) -> RunData:
+    """Read one run directory's comparable artifacts (best-effort)."""
+    run_dir = Path(run_dir)
+    if not run_dir.is_dir():
+        raise FileNotFoundError(f"{run_dir}: not a run directory")
+    data = RunData(
+        path=run_dir, phases=None, metrics=None, validation=None,
+        ledger_rows=None,
+    )
+    telemetry = report_path(run_dir)
+    if telemetry.exists():
+        try:
+            events = load_events(telemetry)
+            data.phases = phase_totals(events)
+            data.metrics = last_metrics(events)
+        except ValueError as exc:
+            data.notes.append(f"telemetry unreadable: {exc}")
+    else:
+        data.notes.append("no telemetry.jsonl")
+    data.validation = load_validation(run_dir)
+    if data.validation is None:
+        data.notes.append("no validation artifact")
+    ledger = run_dir / DAYLEDGER_NAME
+    if ledger.exists():
+        try:
+            data.ledger_rows = load_rows(ledger)
+        except ValueError as exc:
+            data.notes.append(f"ledger unreadable: {exc}")
+    else:
+        data.notes.append(f"no {DAYLEDGER_NAME}")
+    return data
+
+
+def _relative_divergence(a: float, b: float) -> float:
+    if a == b:
+        return 0.0
+    scale = max(abs(a), abs(b))
+    if scale == 0.0 or math.isnan(a) or math.isnan(b):
+        return math.inf
+    return abs(a - b) / scale
+
+
+def _window_means(
+    series: dict[str, list[float]], day: int
+) -> dict[str, tuple[float, float]]:
+    """(pre, post) window means per series around a policy day."""
+    out: dict[str, tuple[float, float]] = {}
+    for name, values in series.items():
+        pre = values[max(0, day - POLICY_WINDOW_DAYS) : day]
+        post = values[day : day + POLICY_WINDOW_DAYS]
+        out[name] = (
+            float(sum(pre) / len(pre)) if pre else 0.0,
+            float(sum(post) / len(post)) if post else 0.0,
+        )
+    return out
+
+
+def diff_runs(a: RunData, b: RunData) -> RunDiff:
+    """Compare two loaded runs along every recorded axis."""
+    phases: dict[str, tuple[float | None, float | None]] = {}
+    for name in PHASE_NAMES:
+        in_a = a.phases.get(name) if a.phases else None
+        in_b = b.phases.get(name) if b.phases else None
+        if in_a is not None or in_b is not None:
+            phases[name] = (in_a, in_b)
+
+    counter_deltas: dict[str, tuple[float, float]] = {}
+    counters_a = (a.metrics or {}).get("counters") or {}
+    counters_b = (b.metrics or {}).get("counters") or {}
+    for name in sorted({*counters_a, *counters_b}):
+        va = float(counters_a.get(name, 0))
+        vb = float(counters_b.get(name, 0))
+        if va != vb:
+            counter_deltas[name] = (va, vb)
+
+    new_misses: list[str] = []
+    if a.validation is not None and b.validation is not None:
+        ok_b = set(b.validation["ok"])
+        new_misses = [name for name in a.validation["ok"] if name not in ok_b]
+
+    series_divergence: dict[str, float] = {}
+    policy_windows: dict[int, dict] = {}
+    if a.ledger_rows is not None and b.ledger_rows is not None:
+        series_a = rows_to_series(a.ledger_rows)
+        series_b = rows_to_series(b.ledger_rows)
+        n_days = max(len(a.ledger_rows), len(b.ledger_rows))
+        for name in sorted({*series_a, *series_b}):
+            va = series_a.get(name, [])
+            vb = series_b.get(name, [])
+            worst = 0.0
+            for day in range(n_days):
+                xa = va[day] if day < len(va) else 0.0
+                xb = vb[day] if day < len(vb) else 0.0
+                worst = max(worst, _relative_divergence(xa, xb))
+            series_divergence[name] = worst
+        if len(a.ledger_rows) != len(b.ledger_rows):
+            series_divergence["__days__"] = math.inf
+        for day in sorted(
+            {*policy_days(a.ledger_rows), *policy_days(b.ledger_rows)}
+        ):
+            policy_windows[day] = {
+                name: {
+                    "a": means_a,
+                    "b": _window_means(series_b, day).get(name, (0.0, 0.0)),
+                }
+                for name, means_a in _window_means(series_a, day).items()
+            }
+
+    return RunDiff(
+        a=a,
+        b=b,
+        phases=phases,
+        counter_deltas=counter_deltas,
+        new_misses=new_misses,
+        series_divergence=series_divergence,
+        policy_windows=policy_windows,
+    )
+
+
+# ----------------------------------------------------------------------
+# --fail-on rules
+# ----------------------------------------------------------------------
+
+_RULES = ("drift", "phase_time", "validation")
+
+
+def parse_fail_on(specs: list[str]) -> dict[str, float]:
+    """Parse ``--fail-on`` rule strings into ``{rule: threshold}``.
+
+    Accepts repeated flags and comma-separated lists; raises
+    ``ValueError`` on an unknown rule or malformed threshold.
+    """
+    rules: dict[str, float] = {}
+    for spec in specs:
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, sep, raw = part.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"--fail-on rule {part!r} must be name=threshold"
+                )
+            name = name.strip()
+            if name not in _RULES:
+                raise ValueError(
+                    f"unknown --fail-on rule {name!r} "
+                    f"(known: {', '.join(_RULES)})"
+                )
+            try:
+                rules[name] = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"--fail-on {name}: threshold {raw!r} is not a number"
+                ) from None
+    return rules
+
+
+def evaluate_fail_on(diff: RunDiff, rules: dict[str, float]) -> list[str]:
+    """Apply parsed rules to a diff; returns violation messages.
+
+    A rule whose inputs exist in neither run is skipped; inputs present
+    in one run but not the other violate the rule (a vanished artifact
+    is a regression, not a pass).
+    """
+    violations: list[str] = []
+
+    if "drift" in rules:
+        threshold = rules["drift"]
+        has_a = diff.a.ledger_rows is not None
+        has_b = diff.b.ledger_rows is not None
+        if has_a != has_b:
+            missing = diff.b.path if has_a else diff.a.path
+            violations.append(
+                f"drift: {missing} has no readable {DAYLEDGER_NAME}"
+            )
+        else:
+            for name, divergence in sorted(diff.series_divergence.items()):
+                if divergence > threshold:
+                    violations.append(
+                        f"drift: series {name!r} diverges by "
+                        f"{divergence:.3g} > {threshold:g}"
+                    )
+
+    if "phase_time" in rules:
+        threshold = rules["phase_time"]
+        for name, (sec_a, sec_b) in sorted(diff.phases.items()):
+            if sec_a is None or sec_b is None or sec_a <= 0:
+                continue
+            regression = sec_b / sec_a - 1.0
+            if regression > threshold:
+                violations.append(
+                    f"phase_time: {name} regressed "
+                    f"{sec_a:.3f}s -> {sec_b:.3f}s "
+                    f"(+{regression:.0%} > {threshold:.0%})"
+                )
+
+    if "validation" in rules:
+        budget = rules["validation"]
+        has_a = diff.a.validation is not None
+        has_b = diff.b.validation is not None
+        if has_a and not has_b:
+            violations.append(
+                f"validation: {diff.b.path} has no validation artifact"
+            )
+        elif len(diff.new_misses) > budget:
+            names = ", ".join(diff.new_misses)
+            violations.append(
+                f"validation: {len(diff.new_misses)} previously-passing "
+                f"target(s) now miss (> {budget:g}): {names}"
+            )
+
+    return violations
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+
+def render_diff(diff: RunDiff, top_series: int = 12) -> str:
+    """Human-readable diff report."""
+    lines = [f"run diff: {diff.a.path}  vs  {diff.b.path}", ""]
+
+    lines.append("phase timings (s):")
+    if diff.phases:
+        for name, (sec_a, sec_b) in diff.phases.items():
+            fa = f"{sec_a:.3f}" if sec_a is not None else "-"
+            fb = f"{sec_b:.3f}" if sec_b is not None else "-"
+            delta = ""
+            if sec_a and sec_b:
+                delta = f"  ({sec_b / sec_a - 1.0:+.1%})"
+            lines.append(f"  {name:<20} {fa:>10}  {fb:>10}{delta}")
+    else:
+        lines.append("  (no telemetry in either run)")
+
+    lines.append("")
+    lines.append("final counters differing:")
+    if diff.counter_deltas:
+        for name, (va, vb) in diff.counter_deltas.items():
+            lines.append(f"  {name:<32} {va:>14g}  {vb:>14g}")
+    else:
+        lines.append("  (none)")
+
+    lines.append("")
+    lines.append("validation:")
+    for label, data in (("a", diff.a.validation), ("b", diff.b.validation)):
+        if data is None:
+            lines.append(f"  {label}: no validation artifact")
+        else:
+            lines.append(f"  {label}: {data['passed']}/{data['total']} in band")
+    if diff.new_misses:
+        lines.append(f"  newly missing in b: {', '.join(diff.new_misses)}")
+
+    lines.append("")
+    lines.append("day-ledger series (max relative divergence):")
+    if diff.series_divergence:
+        ranked = sorted(
+            diff.series_divergence.items(), key=lambda kv: -kv[1]
+        )
+        shown = 0
+        for name, divergence in ranked:
+            if shown >= top_series and divergence == 0.0:
+                break
+            lines.append(f"  {name:<28} {divergence:.4g}")
+            shown += 1
+        zeros = sum(1 for _, d in ranked if d == 0.0)
+        if zeros and shown < len(ranked):
+            lines.append(f"  ... {len(ranked) - shown} more series identical")
+    else:
+        lines.append("  (no ledger in one or both runs)")
+
+    if diff.policy_windows:
+        lines.append("")
+        lines.append(
+            f"policy-change windows (+/-{POLICY_WINDOW_DAYS}d means, "
+            f"pre -> post):"
+        )
+        key_series = (
+            "fraud_click_share",
+            "fraud_spend_share",
+            "registrations_fraud",
+            "spend",
+        )
+        for day, per_series in diff.policy_windows.items():
+            lines.append(f"  day {day}:")
+            for name in key_series:
+                windows = per_series.get(name)
+                if windows is None:
+                    continue
+                (pa, qa), (pb, qb) = windows["a"], windows["b"]
+                lines.append(
+                    f"    {name:<22} a: {pa:.4g} -> {qa:.4g}   "
+                    f"b: {pb:.4g} -> {qb:.4g}"
+                )
+
+    notes = [f"a: {n}" for n in diff.a.notes] + [
+        f"b: {n}" for n in diff.b.notes
+    ]
+    if notes:
+        lines.append("")
+        lines.append("notes:")
+        lines.extend(f"  {note}" for note in notes)
+    return "\n".join(lines)

@@ -91,15 +91,25 @@ def main(argv: list[str] | None = None) -> int:
         f"{len(result.detections)} detections"
     )
     if args.report is not None:
-        from ..validation import render_report, run_validation
+        import json
+
+        from ..validation import checks_to_json, render_report, run_validation
 
         try:
-            report = render_report(run_validation(result))
+            checks = run_validation(result)
+            report = render_report(checks)
         except ReproError as exc:
             log.error("validation failed: %s", exc)
             return 2
         atomic_write_text(args.report, report + "\n")
         print(f"wrote {args.report}")
+        # Machine-readable twin in the run directory, where the run
+        # registry and `repro.obs diff` look for it.
+        validation_json = args.checkpoint_dir / "validation.json"
+        atomic_write_text(
+            validation_json, json.dumps(checks_to_json(checks), indent=2) + "\n"
+        )
+        print(f"wrote {validation_json}")
     return 0
 
 

@@ -51,6 +51,7 @@ from .. import obs
 from ..config import SimulationConfig
 from ..errors import ConfigError, SimulationError
 from ..obs.sink import TELEMETRY_NAME, JsonlSink
+from ..obs.timeseries import DAYLEDGER_NAME, DayLedger
 from ..records.atomic import atomic_write_bytes, sha256_bytes, sha256_file
 from ..records.impressions import ImpressionBuilder, ImpressionTable
 from ..simulator.engine import SimulationEngine
@@ -59,7 +60,13 @@ from ..simulator.results import SimulationResult
 from .faults import FaultPlan
 from .manifest import MANIFEST_NAME, ChunkEntry, RunManifest, config_sha256
 
-__all__ = ["CheckpointRunner", "PHASE1_NAME", "MARKET_NAME", "TELEMETRY_NAME"]
+__all__ = [
+    "CheckpointRunner",
+    "PHASE1_NAME",
+    "MARKET_NAME",
+    "TELEMETRY_NAME",
+    "DAYLEDGER_NAME",
+]
 
 PHASE1_NAME = "phase1.pkl"
 MARKET_NAME = "market.pkl"
@@ -83,6 +90,7 @@ class CheckpointRunner:
         checkpoint_every: int = 7,
         faults: FaultPlan | None = None,
         telemetry: bool = True,
+        ledger: bool = True,
     ) -> None:
         if checkpoint_every < 1:
             raise ConfigError("checkpoint_every must be >= 1")
@@ -90,12 +98,15 @@ class CheckpointRunner:
         self.run_dir = Path(run_dir)
         self.checkpoint_every = checkpoint_every
         self.telemetry = telemetry
+        self.ledger = ledger
         self.manifest_path = self.run_dir / MANIFEST_NAME
         self.chunk_dir = self.run_dir / CHUNK_DIR
         self.phase1_path = self.run_dir / PHASE1_NAME
         self.market_path = self.run_dir / MARKET_NAME
+        self.ledger_path = self.run_dir / DAYLEDGER_NAME
         self._faults = faults if faults is not None else FaultPlan()
         self._sink: JsonlSink | None = None
+        self._ledger: DayLedger | None = None
 
     # ------------------------------------------------------------------
     # Entry point
@@ -132,6 +143,14 @@ class CheckpointRunner:
         if self.telemetry:
             self._sink = JsonlSink(self.run_dir / TELEMETRY_NAME)
             obs.add_sink(self._sink)
+        prior_ledger: DayLedger | None = None
+        if self.ledger:
+            # The ledger, like the telemetry sink, is flushed only when
+            # the manifest makes its content durable; a crash loses at
+            # most the days since the last checkpoint, which resume
+            # re-simulates identically.
+            self._ledger = DayLedger(days=self.config.days)
+            prior_ledger = obs.set_dayledger(self._ledger)
         try:
             result = self._run(resuming)
             if self._sink is not None:
@@ -151,6 +170,9 @@ class CheckpointRunner:
             if self._sink is not None:
                 obs.remove_sink(self._sink)
                 self._sink = None
+            if self._ledger is not None:
+                obs.set_dayledger(prior_ledger)
+                self._ledger = None
 
     def _run(self, resuming: bool) -> SimulationResult:
         """The checkpointed run body (telemetry sink already attached)."""
@@ -183,6 +205,13 @@ class CheckpointRunner:
                 summaries, market = self._load_phase1(engine, manifest)
 
             chunks = self._validate_chunks(manifest)
+            if resuming and manifest.phase != "phase1" and self._ledger is not None:
+                # Reload the durable ledger prefix *after* chunk
+                # validation so a discarded tail's days (reflected in
+                # ``next_day``) are dropped and re-accumulated.
+                self._ledger.preload(
+                    self.ledger_path, market_before=manifest.next_day
+                )
             if manifest.phase != "complete":
                 states = manifest.resume_rng()
                 if states is None:
@@ -193,6 +222,8 @@ class CheckpointRunner:
                 with obs.maybe_profile("phase3", self.run_dir):
                     chunks += self._run_phase3(engine, market, manifest)
                 self._faults.fire("finalize", runner=self)
+                if self._ledger is not None:
+                    self._ledger.flush(self.ledger_path)
                 manifest.phase = "complete"
                 manifest.save(self.manifest_path)
 
@@ -238,8 +269,9 @@ class CheckpointRunner:
             self._faults.fire("phase1:day", day=day, runner=self)
 
         accounts, summaries = engine.generate_population(on_day_complete=on_day)
-        market = MarketIndex(accounts)
-        market.country_volume_check()
+        with obs.span("phase2.market", accounts=len(accounts)):
+            market = MarketIndex(accounts)
+            market.country_volume_check()
 
         phase1_blob = pickle.dumps(
             {
@@ -259,6 +291,11 @@ class CheckpointRunner:
         }
         manifest.phase3_start_rng = engine.rng_state()
         manifest.phase = "phase3"
+        if self._ledger is not None:
+            # Ledger before manifest: a crash between the two leaves a
+            # ledger that is *newer* than the manifest, and preload only
+            # trusts what the manifest vouches for.
+            self._ledger.flush(self.ledger_path)
         manifest.save(self.manifest_path)
         self._faults.fire("phase1:end", runner=self)
         return summaries, market
@@ -389,6 +426,10 @@ class CheckpointRunner:
                 rng_after=engine.rng_state(),
             )
         )
+        if self._ledger is not None:
+            # Same ordering as the Phase-1 flush: ledger first, so the
+            # durable ledger is never older than the manifest.
+            self._ledger.flush(self.ledger_path)
         manifest.save(self.manifest_path)
         _CHUNKS_WRITTEN.inc()
         obs.event(

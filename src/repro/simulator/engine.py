@@ -88,6 +88,7 @@ _ROWS_EMITTED = obs.counter("auction.rows_emitted")
 _QUERIES_SAMPLED = obs.counter("auction.queries_sampled")
 _CANDIDATES_GATHERED = obs.counter("auction.candidates_gathered")
 _CLICK_DRAWS = obs.counter("clicks.poisson_draws")
+_CLICKS_DRAWN = obs.counter("clickmodel.clicks_drawn")
 _DAY_ROWS = obs.histogram("auction.day_rows", obs.DEFAULT_SIZE_BUCKETS)
 _ROWS_PER_S = obs.gauge("auction.rows_per_s")
 _ACCOUNTS_PER_S = obs.gauge("population.accounts_per_s")
@@ -369,6 +370,11 @@ class SimulationEngine:
         # Phase-1 wall time at full scale.  Pause it for the loop.
         gc_was_enabled = gc.isenabled()
         gc.disable()
+        ledger = obs.dayledger()
+        if ledger is not None:
+            for change in self.pipeline.policy.changes:
+                if 0 <= change.day < config.days:
+                    ledger.record_policy_change(change.day)
         try:
             with obs.span(
                 "phase1.population", days=config.days, materializer=mode
@@ -378,6 +384,10 @@ class SimulationEngine:
                         n_fraud, n_nonfraud = sample_daily_counts(
                             config.population, schedule, day, rng
                         )
+                        if ledger is not None:
+                            ledger.record_registrations(
+                                day, n_nonfraud, n_fraud
+                            )
                         flags = [True] * n_fraud + [False] * n_nonfraud
                         for is_fraud in flags:
                             created_time = day + float(rng.random())
@@ -513,10 +523,16 @@ class SimulationEngine:
         # The builder may be drained mid-loop (checkpoint chunks), so
         # progress is tracked off the cumulative rows counter instead.
         rows_at_start = _ROWS_EMITTED.value
+        ledger = obs.dayledger()
         with obs.span(
             "phase3.auctions", start_day=start_day, days=config.days
         ) as phase_span:
             for day in range(start_day, config.days):
+                if ledger is not None:
+                    # Open (and zero) the ledger row before the day body
+                    # so early-out days (no live offers, no candidates)
+                    # still serialize as explicit zero rows.
+                    ledger.begin_day(day)
                 with obs.span("phase3.day", day=day):
                     self._run_auction_day(
                         day, market, builder, sampler, exam_table, tables
@@ -547,7 +563,12 @@ class SimulationEngine:
         rng_clicks = self._rng_clicks
         auction_config = config.auction
         time = day + 0.5
+        ledger = obs.dayledger()
         buckets = market.day_buckets(time, self._rng_market)
+        if ledger is not None and len(buckets):
+            ledger.record_active_accounts(
+                day, int(np.unique(market.adv_row[buckets.rows]).size)
+            )
         if len(buckets) == 0:
             return
         queries = sampler.sample_day(self._rng_queries)
@@ -611,8 +632,25 @@ class SimulationEngine:
         if positive.size:
             clicks[positive] = rng_clicks.poisson(lam[positive])
         _CLICK_DRAWS.inc(int(positive.size))
+        _CLICKS_DRAWN.inc(float(clicks.sum()))
         _ROWS_EMITTED.inc(len(lam))
         _DAY_ROWS.observe(len(lam))
+        spend = clicks * result.price
+        if ledger is not None:
+            # Pure reductions over arrays already computed for the
+            # impression batch -- no RNG contact, no behavior change.
+            fraud = market.fraud_labeled[shown_rows]
+            ledger.record_auction_day(
+                day,
+                impressions=float(weight[shown_seg].sum()),
+                clicks=float(clicks.sum()),
+                fraud_clicks=float(clicks[fraud].sum()),
+                spend=float(spend.sum()),
+                fraud_spend=float(spend[fraud].sum()),
+                rows=len(lam),
+                auctions=int(np.count_nonzero(result.n_shown)),
+                mainline_slots=int(result.mainline.sum()),
+            )
         builder.add_batch(
             day=np.full(len(lam), time),
             advertiser_id=market.advertiser_id[shown_rows],
@@ -624,7 +662,7 @@ class SimulationEngine:
             mainline=result.mainline,
             weight=weight[shown_seg],
             clicks=clicks,
-            spend=clicks * result.price,
+            spend=spend,
             price=result.price,
             n_shown=result.n_shown[shown_seg],
             n_fraud_shown=result.n_fraud_shown[shown_seg],

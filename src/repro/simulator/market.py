@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..behavior.factory import MaterializedAccount
 from ..records.codes import country_code, match_code, vertical_code
 from ..taxonomy.geography import COUNTRIES
@@ -144,48 +145,50 @@ class MarketIndex:
         countries: list[int] = []
         participation: list[float] = []
 
-        for row, account in enumerate(accounts):
-            participation.append(account.profile.participation_prob)
-            advertiser = account.advertiser
-            end = account.activity_end
-            for offer in account.offers:
-                vert = vertical_code(offer.vertical)
-                ctry = country_code(offer.country)
-                cells.append(CellSampler.cell_of(vert, ctry))
-                kws.append(offer.kw_index)
-                matches.append(match_code(offer.match_type))
-                max_bids.append(offer.max_bid)
-                qualities.append(offer.quality)
-                click_qualities.append(offer.click_quality)
-                adv_rows.append(row)
-                advertiser_ids.append(advertiser.advertiser_id)
-                ad_ids.append(offer.ad.ad_id)
-                active_from.append(offer.active_from)
-                active_until.append(end)
-                fraud_labeled.append(advertiser.labeled_fraud)
-                verticals.append(vert)
-                countries.append(ctry)
+        with obs.span("market.offers", accounts=len(accounts)):
+            for row, account in enumerate(accounts):
+                participation.append(account.profile.participation_prob)
+                advertiser = account.advertiser
+                end = account.activity_end
+                for offer in account.offers:
+                    vert = vertical_code(offer.vertical)
+                    ctry = country_code(offer.country)
+                    cells.append(CellSampler.cell_of(vert, ctry))
+                    kws.append(offer.kw_index)
+                    matches.append(match_code(offer.match_type))
+                    max_bids.append(offer.max_bid)
+                    qualities.append(offer.quality)
+                    click_qualities.append(offer.click_quality)
+                    adv_rows.append(row)
+                    advertiser_ids.append(advertiser.advertiser_id)
+                    ad_ids.append(offer.ad.ad_id)
+                    active_from.append(offer.active_from)
+                    active_until.append(end)
+                    fraud_labeled.append(advertiser.labeled_fraud)
+                    verticals.append(vert)
+                    countries.append(ctry)
 
-        self.n_offers = len(cells)
-        self.n_accounts = len(accounts)
-        self.cell = np.asarray(cells, dtype=np.int32)
-        self.kw = np.asarray(kws, dtype=np.int16)
-        self.match = np.asarray(matches, dtype=np.int8)
-        self.max_bid = np.asarray(max_bids, dtype=np.float64)
-        self.quality = np.asarray(qualities, dtype=np.float64)
-        self.click_quality = np.asarray(click_qualities, dtype=np.float64)
-        self.adv_row = np.asarray(adv_rows, dtype=np.int32)
-        self.advertiser_id = np.asarray(advertiser_ids, dtype=np.int64)
-        self.ad_id = np.asarray(ad_ids, dtype=np.int64)
-        self.active_from = np.asarray(active_from, dtype=np.float64)
-        self.active_until = np.asarray(active_until, dtype=np.float64)
-        self.fraud_labeled = np.asarray(fraud_labeled, dtype=bool)
-        self.vertical = np.asarray(verticals, dtype=np.int16)
-        self.country = np.asarray(countries, dtype=np.int16)
-        self.participation = np.asarray(participation, dtype=np.float64)
-        if self.n_offers and int(self.kw.max()) >= _MAX_KW:
-            raise ValueError("keyword pool exceeds composite key capacity")
-        self._key = bucket_keys(self.cell, self.kw, self.match)
+        with obs.span("market.columns", offers=len(cells)):
+            self.n_offers = len(cells)
+            self.n_accounts = len(accounts)
+            self.cell = np.asarray(cells, dtype=np.int32)
+            self.kw = np.asarray(kws, dtype=np.int16)
+            self.match = np.asarray(matches, dtype=np.int8)
+            self.max_bid = np.asarray(max_bids, dtype=np.float64)
+            self.quality = np.asarray(qualities, dtype=np.float64)
+            self.click_quality = np.asarray(click_qualities, dtype=np.float64)
+            self.adv_row = np.asarray(adv_rows, dtype=np.int32)
+            self.advertiser_id = np.asarray(advertiser_ids, dtype=np.int64)
+            self.ad_id = np.asarray(ad_ids, dtype=np.int64)
+            self.active_from = np.asarray(active_from, dtype=np.float64)
+            self.active_until = np.asarray(active_until, dtype=np.float64)
+            self.fraud_labeled = np.asarray(fraud_labeled, dtype=bool)
+            self.vertical = np.asarray(verticals, dtype=np.int16)
+            self.country = np.asarray(countries, dtype=np.int16)
+            self.participation = np.asarray(participation, dtype=np.float64)
+            if self.n_offers and int(self.kw.max()) >= _MAX_KW:
+                raise ValueError("keyword pool exceeds composite key capacity")
+            self._key = bucket_keys(self.cell, self.kw, self.match)
 
     def live_mask(self, time: float, rng: np.random.Generator) -> np.ndarray:
         """Offers live at ``time``: active interval covers it, account on."""

@@ -19,6 +19,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from .. import obs
 from ..config import QueryConfig
 from ..entities.enums import MatchType
 from ..matching.matcher import broad_match, exact_match, phrase_match
@@ -28,6 +29,11 @@ from ..taxonomy.keywords import keyword_pool, keyword_weights
 from ..taxonomy.verticals import VERTICALS
 
 __all__ = ["Query", "MatchTable", "match_table", "CellSampler", "QuerySampler"]
+
+# Observability handle (repro.obs): candidate (keyword, match-type)
+# pairs matched per query, bumped at lookup time.  A plain attribute
+# add -- no RNG contact, cheap enough for the per-query hot path.
+_CANDIDATES_MATCHED = obs.counter("matching.candidates_matched")
 
 
 @dataclass(frozen=True)
@@ -131,7 +137,9 @@ class MatchTable:
         keyword index), then phrase, then broad.
         """
         shape = 2 if shuffled else (1 if decorated else 0)
-        return self._arrays_by_shape[shape][seed_index]
+        arrays = self._arrays_by_shape[shape][seed_index]
+        _CANDIDATES_MATCHED.inc(len(arrays[0]))
+        return arrays
 
     def eligible_pairs(
         self, seed_index: int, decorated: bool, shuffled: bool

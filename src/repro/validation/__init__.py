@@ -1,10 +1,17 @@
 """Validation against the paper's reported values."""
 
-from .suite import TARGETS, measure_all, render_report, run_validation
+from .suite import (
+    TARGETS,
+    checks_to_json,
+    measure_all,
+    render_report,
+    run_validation,
+)
 from .targets import CheckResult, TargetBand
 
 __all__ = [
     "TARGETS",
+    "checks_to_json",
     "measure_all",
     "run_validation",
     "render_report",

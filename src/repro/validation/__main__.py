@@ -1,18 +1,20 @@
 """Command line validation: simulate and check every paper target.
 
-    python -m repro.validation [--small] [--seed N]
+    python -m repro.validation [--small] [--seed N] [--json] [--out PATH]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from .. import obs
 from ..config import default_config, small_config
 from ..errors import ReproError
 from ..simulator.cache import cached_simulation
-from .suite import render_report, run_validation
+from .suite import checks_to_json, render_report, run_validation
 
 log = obs.get_logger("validation.cli")
 
@@ -27,6 +29,17 @@ def main(argv: list[str] | None = None) -> int:
         "--strict",
         action="store_true",
         help="exit non-zero if any target misses its band",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable check payload instead of text",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the JSON payload to this path (atomic)",
     )
     args = parser.parse_args(argv)
     obs.setup_logging()
@@ -46,7 +59,15 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         log.error("%s", exc)
         return 2
-    print(render_report(checks))
+    payload = checks_to_json(checks)
+    if args.out is not None:
+        from ..records.atomic import atomic_write_text
+
+        atomic_write_text(args.out, json.dumps(payload, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_report(checks))
     if args.strict and any(not check.ok for check in checks):
         return 1
     return 0

@@ -37,7 +37,7 @@ from ..simulator.results import SimulationResult
 from ..timeline import Window, quarter_window
 from .targets import CheckResult, TargetBand
 
-__all__ = ["run_validation", "render_report", "measure_all"]
+__all__ = ["run_validation", "render_report", "checks_to_json", "measure_all"]
 
 
 def _primary_window(result: SimulationResult) -> Window:
@@ -185,3 +185,32 @@ def render_report(checks: list[CheckResult]) -> str:
     misses = sum(1 for check in checks if not check.ok)
     lines.append(f"-- {len(checks) - misses}/{len(checks)} targets in band")
     return "\n".join(lines)
+
+
+def checks_to_json(checks: list[CheckResult]) -> dict:
+    """Machine-readable validation outcome (``--json`` / run registry).
+
+    NaN measurements serialize as ``null`` so the payload stays strict
+    JSON (a NaN measure is always a MISS, so no information is lost).
+    """
+    rows = []
+    for check in checks:
+        target = check.target
+        measured = float(check.measured)
+        rows.append(
+            {
+                "name": target.name,
+                "ok": bool(check.ok),
+                "measured": measured if measured == measured else None,
+                "low": target.low,
+                "high": target.high,
+                "paper": target.paper,
+                "section": target.section,
+            }
+        )
+    return {
+        "schema": "repro.validation/v1",
+        "passed": sum(1 for check in checks if check.ok),
+        "total": len(checks),
+        "checks": rows,
+    }

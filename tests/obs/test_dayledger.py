@@ -1,0 +1,240 @@
+"""Unit + invariant tests for the marketplace-health day ledger."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.config import small_config
+from repro.obs.timeseries import (
+    DayLedger,
+    load_rows,
+    policy_days,
+    rows_to_series,
+)
+from repro.records.impressions import ImpressionBuilder
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.market import MarketIndex
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_ledger():
+    """Every test starts and ends with no global ledger attached."""
+    obs.set_dayledger(None)
+    yield
+    obs.set_dayledger(None)
+
+
+class TestDayLedgerRows:
+    def test_every_day_serializes_even_without_feeds(self):
+        ledger = DayLedger(days=3)
+        rows = ledger.rows()
+        assert [row["day"] for row in rows] == [0, 1, 2]
+        assert all(row["registrations_legit"] == 0 for row in rows)
+        # No market row was opened, so no market/derived fields appear.
+        assert "impressions" not in rows[0]
+
+    def test_begin_day_zeroes_market_fields(self):
+        ledger = DayLedger(days=2)
+        ledger.begin_day(0)
+        row = ledger.rows()[0]
+        assert row["impressions"] == 0.0
+        assert row["kernel_candidates"] == 0
+        assert row["fraud_click_share"] == 0.0
+
+    def test_derived_fields_recomputed_from_sums(self):
+        ledger = DayLedger(days=1)
+        ledger.begin_day(0)
+        ledger.record_auction_day(
+            0,
+            impressions=100.0,
+            clicks=10.0,
+            fraud_clicks=4.0,
+            spend=5.0,
+            fraud_spend=1.0,
+            rows=20,
+            auctions=8,
+            mainline_slots=12,
+        )
+        row = ledger.rows()[0]
+        assert row["fraud_click_share"] == pytest.approx(0.4)
+        assert row["fraud_spend_share"] == pytest.approx(0.2)
+        assert row["mean_cpc"] == pytest.approx(0.5)
+        assert row["mainline_depth"] == pytest.approx(1.5)
+
+    def test_shutdowns_bucketed_and_clamped(self):
+        ledger = DayLedger(days=5)
+        ledger.record_shutdown(1.25, "content_filter")
+        ledger.record_shutdown(1.99, "content_filter")
+        ledger.record_shutdown(99.0, "behavioral")  # past the study end
+        rows = ledger.rows()
+        assert rows[1]["shutdowns"] == {"content_filter": 2}
+        assert rows[4]["shutdowns"] == {"behavioral": 1}
+
+    def test_kernel_feed_is_noop_without_open_day(self):
+        ledger = DayLedger(days=1)
+        ledger.record_kernel(10, 3)  # kernel-only unit tests do this
+        assert "kernel_candidates" not in ledger.rows()[0]
+
+    def test_policy_day_flag(self):
+        ledger = DayLedger(days=3)
+        ledger.record_policy_change(1.0)
+        rows = ledger.rows()
+        assert rows[1]["policy_change"] is True
+        assert "policy_change" not in rows[0]
+        assert policy_days(rows) == [1]
+
+
+class TestSerialization:
+    def _populated(self) -> DayLedger:
+        ledger = DayLedger(days=3)
+        ledger.record_registrations(0, 7, 5)
+        ledger.record_shutdown(0.5, "registration_screen")
+        ledger.record_policy_change(2)
+        for day in range(3):
+            ledger.begin_day(day)
+            ledger.record_kernel(40 + day, 9)
+            ledger.record_active_accounts(day, 11 + day)
+            ledger.record_auction_day(
+                day,
+                impressions=1000.0 + day,
+                clicks=10.5,
+                fraud_clicks=0.5,
+                spend=3.25,
+                fraud_spend=0.125,
+                rows=9,
+                auctions=4,
+                mainline_slots=6,
+            )
+        return ledger
+
+    def test_jsonl_is_canonical_and_parseable(self, tmp_path):
+        ledger = self._populated()
+        path = tmp_path / "dayledger.jsonl"
+        ledger.flush(path)
+        rows = load_rows(path)
+        assert len(rows) == 3
+        # Canonical form: sorted keys, compact separators.
+        line = path.read_text().splitlines()[0]
+        assert line == json.dumps(
+            rows[0], sort_keys=True, separators=(",", ":")
+        )
+
+    def test_flush_preload_flush_is_byte_identical(self, tmp_path):
+        ledger = self._populated()
+        path = tmp_path / "dayledger.jsonl"
+        ledger.flush(path)
+        original = path.read_bytes()
+
+        reloaded = DayLedger(days=3)
+        reloaded.preload(path, market_before=3)
+        reloaded.flush(path)
+        assert path.read_bytes() == original
+
+    def test_preload_drops_market_fields_at_and_after_cutoff(self, tmp_path):
+        ledger = self._populated()
+        path = tmp_path / "dayledger.jsonl"
+        ledger.flush(path)
+
+        resumed = DayLedger(days=3)
+        resumed.preload(path, market_before=2)
+        rows = resumed.rows()
+        # Phase-1 fields survive for every day...
+        assert rows[0]["registrations_fraud"] == 5
+        assert rows[2]["policy_change"] is True
+        # ...market fields only before the cutoff.
+        assert rows[1]["impressions"] == pytest.approx(1001.0)
+        assert "impressions" not in rows[2]
+
+    def test_preload_of_missing_file_is_noop(self, tmp_path):
+        ledger = DayLedger(days=2)
+        ledger.preload(tmp_path / "absent.jsonl", market_before=2)
+        assert len(ledger.rows()) == 2
+
+    def test_load_rows_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "dayledger.jsonl"
+        path.write_text('{"day":0}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            load_rows(path)
+        path.write_text("[1,2]\n")
+        with pytest.raises(ValueError, match="not a ledger row"):
+            load_rows(path)
+
+    def test_rows_to_series_flattens_shutdown_stages(self):
+        rows = self._populated().rows()
+        series = rows_to_series(rows)
+        assert series["shutdowns.registration_screen"] == [1.0, 0.0, 0.0]
+        assert series["clicks"] == [10.5, 10.5, 10.5]
+        assert series["registrations_legit"][0] == 7.0
+
+
+class TestEngineIntegration:
+    """The hard invariant: a ledgered run is bit-identical to a bare one."""
+
+    CONFIG = small_config(seed=7, days=30)
+
+    def _run(self, with_ledger: bool):
+        engine = SimulationEngine(self.CONFIG)
+        ledger = DayLedger(days=self.CONFIG.days) if with_ledger else None
+        prior = obs.set_dayledger(ledger)
+        try:
+            result = engine.run()
+        finally:
+            obs.set_dayledger(prior)
+        return result, engine.rng_state(), ledger
+
+    def test_ledgered_run_bit_identical_to_unledgered(self):
+        bare, rng_bare, _ = self._run(with_ledger=False)
+        ledgered, rng_led, ledger = self._run(with_ledger=True)
+
+        for name in bare.impressions.field_names():
+            assert np.array_equal(
+                getattr(bare.impressions, name),
+                getattr(ledgered.impressions, name),
+            ), f"column {name} differs"
+        assert bare.detections == ledgered.detections
+        # Serialized RNG states: the ledger never draws randomness.
+        assert rng_bare == rng_led
+
+        # And the ledger's totals agree with the impression table.
+        rows = ledger.rows()
+        assert len(rows) == self.CONFIG.days
+        total_clicks = sum(row.get("clicks", 0.0) for row in rows)
+        assert total_clicks == pytest.approx(
+            float(bare.impressions.clicks.sum())
+        )
+        total_spend = sum(row.get("spend", 0.0) for row in rows)
+        assert total_spend == pytest.approx(
+            float(bare.impressions.spend.sum())
+        )
+        total_rows = sum(row.get("rows", 0) for row in rows)
+        assert total_rows == len(bare.impressions)
+
+    def test_ledger_sees_registrations_and_shutdowns(self):
+        _, _, ledger = self._run(with_ledger=True)
+        rows = ledger.rows()
+        registrations = sum(
+            row["registrations_legit"] + row["registrations_fraud"]
+            for row in rows
+        )
+        assert registrations > 0
+        assert any(row["shutdowns"] for row in rows)
+        # Kernel feed flows through the batched auction path.
+        assert sum(row.get("kernel_shown", 0) for row in rows) > 0
+
+    def test_engine_phase3_only_feeds_open_days(self):
+        """Running auctions standalone (no phase 1) still ledgers."""
+        engine = SimulationEngine(self.CONFIG)
+        accounts, _ = engine.generate_population()
+        market = MarketIndex(accounts)
+        ledger = DayLedger(days=self.CONFIG.days)
+        prior = obs.set_dayledger(ledger)
+        try:
+            engine.run_auctions(market, ImpressionBuilder())
+        finally:
+            obs.set_dayledger(prior)
+        rows = ledger.rows()
+        assert all("impressions" in row for row in rows)

@@ -1,0 +1,256 @@
+"""Tests for cross-run diffing and the ``--fail-on`` CI gate."""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.obs.__main__ import main as obs_main
+from repro.obs.diff import (
+    diff_runs,
+    evaluate_fail_on,
+    load_run,
+    parse_fail_on,
+    render_diff,
+)
+from repro.obs.timeseries import DAYLEDGER_NAME, DayLedger
+
+
+def _span(span_id, parent, name, dur):
+    return {
+        "t": 1.0,
+        "kind": "span",
+        "name": name,
+        "id": span_id,
+        "parent": parent,
+        "start": 0.5,
+        "dur": dur,
+        "attrs": {},
+    }
+
+
+def _metrics(counters):
+    return {
+        "t": 9.0,
+        "kind": "metrics",
+        "data": {"counters": counters, "gauges": {}, "histograms": {}},
+    }
+
+
+def _ledger(days=4, clicks=10.0, policy_day=None) -> DayLedger:
+    ledger = DayLedger(days=days)
+    if policy_day is not None:
+        ledger.record_policy_change(policy_day)
+    for day in range(days):
+        ledger.record_registrations(day, 5, 2)
+        ledger.begin_day(day)
+        ledger.record_auction_day(
+            day,
+            impressions=100.0,
+            clicks=clicks,
+            fraud_clicks=1.0,
+            spend=4.0,
+            fraud_spend=0.5,
+            rows=8,
+            auctions=3,
+            mainline_slots=5,
+        )
+    return ledger
+
+
+def make_run(
+    root: Path,
+    name: str,
+    *,
+    phase3_s: float = 2.0,
+    counters: dict | None = None,
+    ledger: DayLedger | None = None,
+    validation_ok: tuple[str, ...] = ("fraud_share", "cpc"),
+    validation_miss: tuple[str, ...] = (),
+) -> Path:
+    """Synthesize a minimal but complete run directory."""
+    run_dir = root / name
+    run_dir.mkdir(parents=True)
+    (run_dir / "MANIFEST.json").write_text(
+        json.dumps({"seed": 7, "days": 4, "phase": "complete", "chunks": []})
+    )
+    events = [
+        _span(1, None, "runner.run", dur=phase3_s + 1.0),
+        _span(2, 1, "phase1.population", dur=0.5),
+        _span(3, 1, "phase3.auctions", dur=phase3_s),
+        _metrics(counters or {"auction.rows_emitted": 100}),
+    ]
+    (run_dir / "telemetry.jsonl").write_text(
+        "\n".join(json.dumps(e, separators=(",", ":")) for e in events) + "\n"
+    )
+    checks = [
+        {"name": n, "ok": True, "measured": 1.0, "low": 0, "high": 2,
+         "paper": "x", "section": "4"}
+        for n in validation_ok
+    ] + [
+        {"name": n, "ok": False, "measured": 9.0, "low": 0, "high": 2,
+         "paper": "x", "section": "4"}
+        for n in validation_miss
+    ]
+    (run_dir / "validation.json").write_text(
+        json.dumps({"schema": "repro.validation/v1", "passed": len(validation_ok),
+                    "total": len(checks), "checks": checks})
+    )
+    (ledger or _ledger()).flush(run_dir / DAYLEDGER_NAME)
+    return run_dir
+
+
+class TestDiffRuns:
+    def test_identical_runs_have_zero_divergence(self, tmp_path):
+        a = make_run(tmp_path, "a")
+        b = make_run(tmp_path, "b")
+        diff = diff_runs(load_run(a), load_run(b))
+        assert diff.series_divergence
+        assert all(d == 0.0 for d in diff.series_divergence.values())
+        assert diff.counter_deltas == {}
+        assert diff.new_misses == []
+        assert evaluate_fail_on(diff, parse_fail_on(["drift=0"])) == []
+
+    def test_perturbed_ledger_fails_drift_zero(self, tmp_path):
+        a = make_run(tmp_path, "a")
+        b = make_run(tmp_path, "b", ledger=_ledger(clicks=10.5))
+        diff = diff_runs(load_run(a), load_run(b))
+        assert diff.series_divergence["clicks"] > 0
+        violations = evaluate_fail_on(diff, {"drift": 0.0})
+        assert any("clicks" in v for v in violations)
+        # A loose threshold tolerates the same perturbation.
+        assert evaluate_fail_on(diff, {"drift": 0.1}) == []
+
+    def test_day_count_mismatch_is_infinite_drift(self, tmp_path):
+        a = make_run(tmp_path, "a")
+        b = make_run(tmp_path, "b", ledger=_ledger(days=3))
+        diff = diff_runs(load_run(a), load_run(b))
+        assert diff.series_divergence["__days__"] == math.inf
+        violations = evaluate_fail_on(diff, {"drift": 1e9})
+        assert any("__days__" in v for v in violations)
+
+    def test_phase_regression_fails_phase_time(self, tmp_path):
+        a = make_run(tmp_path, "a", phase3_s=2.0)
+        b = make_run(tmp_path, "b", phase3_s=3.0)  # +50%
+        diff = diff_runs(load_run(a), load_run(b))
+        violations = evaluate_fail_on(diff, {"phase_time": 0.25})
+        assert any("phase3.auctions" in v for v in violations)
+        assert evaluate_fail_on(diff, {"phase_time": 0.6}) == []
+
+    def test_speedup_never_violates_phase_time(self, tmp_path):
+        a = make_run(tmp_path, "a", phase3_s=3.0)
+        b = make_run(tmp_path, "b", phase3_s=2.0)
+        diff = diff_runs(load_run(a), load_run(b))
+        assert evaluate_fail_on(diff, {"phase_time": 0.0}) == []
+
+    def test_new_validation_miss_fails_budget(self, tmp_path):
+        a = make_run(tmp_path, "a", validation_ok=("fraud_share", "cpc"))
+        b = make_run(
+            tmp_path, "b",
+            validation_ok=("cpc",), validation_miss=("fraud_share",),
+        )
+        diff = diff_runs(load_run(a), load_run(b))
+        assert diff.new_misses == ["fraud_share"]
+        violations = evaluate_fail_on(diff, {"validation": 0.0})
+        assert any("fraud_share" in v for v in violations)
+        assert evaluate_fail_on(diff, {"validation": 1.0}) == []
+
+    def test_counter_deltas_only_where_values_differ(self, tmp_path):
+        a = make_run(tmp_path, "a", counters={"x": 1, "same": 5})
+        b = make_run(tmp_path, "b", counters={"x": 2, "same": 5})
+        diff = diff_runs(load_run(a), load_run(b))
+        assert diff.counter_deltas == {"x": (1.0, 2.0)}
+
+    def test_ledger_missing_one_side_violates_drift(self, tmp_path):
+        a = make_run(tmp_path, "a")
+        b = make_run(tmp_path, "b")
+        (b / DAYLEDGER_NAME).unlink()
+        diff = diff_runs(load_run(a), load_run(b))
+        violations = evaluate_fail_on(diff, {"drift": 0.0})
+        assert len(violations) == 1
+        assert "no readable" in violations[0]
+
+    def test_ledger_missing_both_sides_skips_drift(self, tmp_path):
+        a = make_run(tmp_path, "a")
+        b = make_run(tmp_path, "b")
+        (a / DAYLEDGER_NAME).unlink()
+        (b / DAYLEDGER_NAME).unlink()
+        diff = diff_runs(load_run(a), load_run(b))
+        assert evaluate_fail_on(diff, {"drift": 0.0}) == []
+
+    def test_policy_windows_report_pre_post_means(self, tmp_path):
+        a = make_run(tmp_path, "a", ledger=_ledger(policy_day=2))
+        b = make_run(tmp_path, "b", ledger=_ledger(policy_day=2))
+        diff = diff_runs(load_run(a), load_run(b))
+        assert 2 in diff.policy_windows
+        windows = diff.policy_windows[2]["clicks"]
+        assert windows["a"] == windows["b"]
+        assert windows["a"][1] == pytest.approx(10.0)
+        assert "policy-change windows" in render_diff(diff)
+
+
+class TestParseFailOn:
+    def test_comma_and_repeat_forms(self):
+        assert parse_fail_on(["drift=0,phase_time=0.25", "validation=1"]) == {
+            "drift": 0.0,
+            "phase_time": 0.25,
+            "validation": 1.0,
+        }
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown --fail-on rule"):
+            parse_fail_on(["latency=3"])
+
+    def test_missing_threshold_raises(self):
+        with pytest.raises(ValueError, match="name=threshold"):
+            parse_fail_on(["drift"])
+
+    def test_non_numeric_threshold_raises(self):
+        with pytest.raises(ValueError, match="not a number"):
+            parse_fail_on(["drift=tight"])
+
+
+class TestDiffCli:
+    def test_identical_runs_exit_0(self, tmp_path, capsys):
+        a = make_run(tmp_path, "a")
+        b = make_run(tmp_path, "b")
+        code = obs_main(["diff", str(a), str(b), "--fail-on", "drift=0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ok: 1 rule(s) held" in out
+
+    def test_perturbed_run_exits_1(self, tmp_path, capsys):
+        # Acceptance criterion: diff exits non-zero on a perturbed
+        # ledger or timing.
+        a = make_run(tmp_path, "a", phase3_s=2.0)
+        b = make_run(
+            tmp_path, "b", phase3_s=4.0, ledger=_ledger(clicks=11.0)
+        )
+        code = obs_main(
+            ["diff", str(a), str(b),
+             "--fail-on", "drift=0,phase_time=0.25"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL:" in out
+        assert "drift" in out
+        assert "phase_time" in out
+
+    def test_bad_rule_exits_2(self, tmp_path):
+        a = make_run(tmp_path, "a")
+        b = make_run(tmp_path, "b")
+        assert obs_main(["diff", str(a), str(b), "--fail-on", "bogus=1"]) == 2
+
+    def test_missing_run_dir_exits_2(self, tmp_path):
+        a = make_run(tmp_path, "a")
+        assert obs_main(["diff", str(a), str(tmp_path / "nope")]) == 2
+
+    def test_diff_without_rules_reports_and_exits_0(self, tmp_path, capsys):
+        a = make_run(tmp_path, "a")
+        b = make_run(tmp_path, "b", ledger=_ledger(clicks=99.0))
+        assert obs_main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "day-ledger series" in out

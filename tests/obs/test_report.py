@@ -106,15 +106,25 @@ class TestReportCli:
         assert obs_main(["report", str(path)]) == 0
         assert "4 events" in capsys.readouterr().out
 
-    def test_missing_telemetry_exits_2(self, tmp_path, capsys):
-        assert obs_main(["report", str(tmp_path / "void")]) == 2
-        assert "no telemetry" in capsys.readouterr().err
+    def test_missing_telemetry_notices_and_exits_0(self, tmp_path, capsys):
+        # Absent telemetry is a normal run state (telemetry=False), not
+        # an error: a clear notice on stdout, exit 0, no traceback.
+        assert obs_main(["report", str(tmp_path / "void")]) == 0
+        out = capsys.readouterr().out
+        assert "no telemetry" in out
 
-    def test_malformed_telemetry_exits_2(self, tmp_path, capsys):
+    def test_missing_run_dir_file_notices_and_exits_0(self, tmp_path, capsys):
+        assert obs_main(["report", str(tmp_path)]) == 0
+        assert "no telemetry" in capsys.readouterr().out
+
+    def test_truncated_telemetry_notices_and_exits_0(self, tmp_path, capsys):
+        # A torn/garbage file renders a notice naming the damage.
         path = tmp_path / "telemetry.jsonl"
         path.write_text("garbage\n")
-        assert obs_main(["report", str(tmp_path)]) == 2
-        assert "malformed" in capsys.readouterr().err
+        assert obs_main(["report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "no usable telemetry" in out
+        assert "malformed" in out
 
     def test_render_report_mentions_source(self):
         text = render_report(self._sample_events(), source="RUNS/x")
