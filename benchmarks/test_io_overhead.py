@@ -1,0 +1,59 @@
+"""Overhead smoke: the IO fault/retry layer must be ~free when disarmed.
+
+Every chunk, manifest and snapshot write now consults the global IO
+shim and runs under the retry loop.  Disarmed (no shim installed -- the
+production configuration) that machinery is one global read and one
+``try`` frame per write; armed with a non-matching plan it adds a glob
+match per fault.  Both must disappear into filesystem noise: the
+budget allows 15% over the raw protocol plus an absolute epsilon, with
+min-of-three timing on each side (same noise-floor estimator as the
+telemetry overhead bench).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.records.atomic import (
+    IO_ERROR,
+    IoShim,
+    WriteFault,
+    atomic_write_bytes,
+    set_io_shim,
+)
+
+RUNS = 3
+WRITES = 200
+PAYLOAD = b"\x5a" * 65536  # chunk-scale: 64 KiB per write
+RELATIVE_BUDGET = 1.15
+ABSOLUTE_EPSILON_S = 0.05
+
+
+def _timed_writes(tmp_path, label) -> float:
+    start = time.perf_counter()
+    for index in range(WRITES):
+        atomic_write_bytes(tmp_path / f"{label}-{index % 8}.bin", PAYLOAD)
+    return time.perf_counter() - start
+
+
+def test_disarmed_shim_overhead_is_negligible(tmp_path):
+    assert set_io_shim(None) is None  # the production configuration
+    _timed_writes(tmp_path, "warm")
+
+    baseline = min(_timed_writes(tmp_path, f"off{i}") for i in range(RUNS))
+
+    shim = IoShim(
+        [WriteFault("never-matches-*.xyz", action=IO_ERROR, times=10**9)]
+    )
+    previous = set_io_shim(shim)
+    try:
+        armed = min(_timed_writes(tmp_path, f"on{i}") for i in range(RUNS))
+    finally:
+        set_io_shim(previous)
+
+    assert not shim.fired  # the plan never matched a real write
+    budget = baseline * RELATIVE_BUDGET + ABSOLUTE_EPSILON_S
+    assert armed <= budget, (
+        f"armed-but-idle shim writes took {armed:.3f}s, over budget "
+        f"{budget:.3f}s (baseline {baseline:.3f}s)"
+    )

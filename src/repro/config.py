@@ -26,6 +26,7 @@ __all__ = [
     "BehaviorConfig",
     "DetectionConfig",
     "SimulationConfig",
+    "config_from_dict",
     "default_config",
     "small_config",
 ]
@@ -300,6 +301,49 @@ class SimulationConfig:
     def with_auction(self, **kwargs: object) -> "SimulationConfig":
         """Return a copy with auction parameters overridden."""
         return replace(self, auction=replace(self.auction, **kwargs))
+
+
+#: Config-group field name -> dataclass, in declaration order.
+_CONFIG_GROUPS: dict[str, type] = {
+    "population": PopulationConfig,
+    "query": QueryConfig,
+    "auction": AuctionConfig,
+    "click": ClickConfig,
+    "behavior": BehaviorConfig,
+    "detection": DetectionConfig,
+}
+
+
+def config_from_dict(payload: dict) -> SimulationConfig:
+    """Rebuild a :class:`SimulationConfig` from ``dataclasses.asdict``.
+
+    The checkpoint manifest embeds the full configuration this way so
+    ``verify``/``doctor`` can re-simulate a run directory without the
+    caller re-supplying every CLI flag.  Values are validated by the
+    dataclass constructors exactly as a hand-built config would be;
+    unknown keys raise :class:`~repro.errors.ConfigError` rather than
+    being silently dropped (a config the round-trip cannot represent
+    must never masquerade as the original).
+    """
+    if not isinstance(payload, dict):
+        raise ConfigError("config payload is not a mapping")
+    known = {"seed", "days", *_CONFIG_GROUPS}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ConfigError(f"unknown config keys: {', '.join(unknown)}")
+    try:
+        kwargs: dict[str, object] = {
+            "seed": int(payload["seed"]),
+            "days": int(payload["days"]),
+        }
+        for name, cls in _CONFIG_GROUPS.items():
+            if name in payload:
+                kwargs[name] = cls(**payload[name])
+        return SimulationConfig(**kwargs)
+    except ConfigError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigError(f"malformed config payload: {exc}") from None
 
 
 def default_config(seed: int = 20170101) -> SimulationConfig:

@@ -26,6 +26,10 @@ comma-separable):
     duration (``phase_time=0.25`` = "no phase regressed by >25%").
 ``validation=N``
     Fail if more than ``N`` targets that passed in A miss in B.
+``degraded=N``
+    Fail if run B degraded more than ``N`` auxiliary writes: its final
+    ``io.degraded`` + ``io.giveups`` counters (``degraded=0`` demands
+    a run that never lost a telemetry or ledger flush).
 
 Exit codes: 0 -- compared (and every rule held); 1 -- at least one
 rule violated; 2 -- a run directory was unreadable or a rule
@@ -222,7 +226,7 @@ def diff_runs(a: RunData, b: RunData) -> RunDiff:
 # --fail-on rules
 # ----------------------------------------------------------------------
 
-_RULES = ("drift", "phase_time", "validation")
+_RULES = ("drift", "phase_time", "validation", "degraded")
 
 
 def parse_fail_on(specs: list[str]) -> dict[str, float]:
@@ -294,6 +298,29 @@ def evaluate_fail_on(diff: RunDiff, rules: dict[str, float]) -> list[str]:
                     f"phase_time: {name} regressed "
                     f"{sec_a:.3f}s -> {sec_b:.3f}s "
                     f"(+{regression:.0%} > {threshold:.0%})"
+                )
+
+    if "degraded" in rules:
+        budget = rules["degraded"]
+        metrics_b = diff.b.metrics
+        if metrics_b is None:
+            # A run whose telemetry sink itself degraded away cannot
+            # testify about its own health -- that absence is the
+            # violation, same as the other rules' vanished-artifact
+            # handling.
+            violations.append(
+                f"degraded: {diff.b.path} has no readable telemetry to "
+                f"prove it ran undegraded"
+            )
+        else:
+            counters_b = metrics_b.get("counters") or {}
+            degraded = float(counters_b.get("io.degraded", 0)) + float(
+                counters_b.get("io.giveups", 0)
+            )
+            if degraded > budget:
+                violations.append(
+                    f"degraded: run b degraded {degraded:g} auxiliary "
+                    f"write(s) (io.degraded + io.giveups > {budget:g})"
                 )
 
     if "validation" in rules:

@@ -255,11 +255,18 @@ class DayLedger:
             + "\n"
         )
 
-    def flush(self, path: str | Path) -> None:
-        """Atomically persist the ledger (tmp + fsync + ``os.replace``)."""
+    def flush(self, path: str | Path) -> str:
+        """Atomically persist the ledger (tmp + fsync + ``os.replace``).
+
+        Returns the serialized text so callers can checksum exactly
+        what landed (the checkpoint manifest vouches for the ledger
+        this way).
+        """
         from ..records.atomic import atomic_write_text
 
-        atomic_write_text(path, self.to_jsonl())
+        text = self.to_jsonl()
+        atomic_write_text(path, text)
+        return text
 
     # -- resume --------------------------------------------------------
 

@@ -1,4 +1,5 @@
-"""Atomic, durable file writes.
+"""Atomic, durable file writes -- with deterministic IO fault injection
+and bounded retry.
 
 Every on-disk artifact in this package (CSV/JSONL datasets, checkpoint
 manifests, impression chunks) is written with the same crash-safe
@@ -8,38 +9,256 @@ destination and ``fsync`` the directory.  A crash at any point leaves
 either the old file or the new file -- never a truncated hybrid.  The
 checkpoint runner (:mod:`repro.runner`) builds its recovery guarantees
 on exactly this property.
+
+Two robustness layers sit on top of that protocol:
+
+* **Fault injection** -- an :class:`IoShim` installed with
+  :func:`set_io_shim` intercepts every payload write issued through
+  :func:`atomic_write_bytes` / :func:`atomic_write_text` and executes
+  planned :class:`WriteFault` s: raise ``ENOSPC``/``EIO`` before
+  anything lands (``io-error``), let only a prefix of the payload land
+  while reporting success (``io-torn``), or flip a byte after a
+  successful write (``io-bitrot``).  Faults fire at the Nth write whose
+  path matches a glob pattern, so tests declare exactly which artifact
+  the disk lies about.  The checkpoint runner threads its
+  :class:`~repro.runner.faults.FaultPlan`'s IO faults through here.
+
+* **Retry with deterministic backoff** -- transient ``OSError`` s are
+  retried up to :class:`RetryPolicy.retries` times with a fixed
+  (wall-clock-free to *decide*, clock only to *wait*) delay schedule.
+  Every retry bumps the ``io.retries`` counter; a write that exhausts
+  its budget bumps ``io.giveups`` and re-raises for the caller to treat
+  as fatal or degrade (the runner degrades auxiliary sinks, keeps
+  chunk/manifest writes fatal).
 """
 
 from __future__ import annotations
 
+import errno as _errno
+import fnmatch
 import hashlib
 import os
+import time
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Iterator
+from typing import IO, Callable, Iterable, Iterator
+
+from .. import obs
 
 __all__ = [
+    "IO_ERROR",
+    "IO_TORN",
+    "IO_BITROT",
+    "IoShim",
+    "RetryPolicy",
+    "WriteFault",
     "atomic_writer",
     "atomic_write_bytes",
     "atomic_write_text",
     "fsync_dir",
+    "io_shim",
+    "set_io_shim",
     "sha256_bytes",
     "sha256_file",
 ]
 
+# IO telemetry (repro.obs).  Counter bumps are plain attribute adds;
+# nothing here touches the named RNG streams.
+_RETRIES = obs.counter("io.retries")
+_GIVEUPS = obs.counter("io.giveups")
+_FSYNC_FAILURES = obs.counter("io.fsync_failures")
+
+_log = obs.get_logger("records.atomic")
+
+# ----------------------------------------------------------------------
+# Fault injection: the disk lies, deterministically
+# ----------------------------------------------------------------------
+
+#: The write call raises ``OSError(err)`` before anything lands
+#: (retryable: the shim counts attempts, so a once-only fault clears).
+IO_ERROR = "io-error"
+#: The write reports success but only ``len(data) - detail`` bytes
+#: landed -- a torn write on a filesystem that lied about durability.
+IO_TORN = "io-torn"
+#: The write succeeds, then the byte at offset ``detail`` is flipped --
+#: silent media corruption only a checksum scan can see.
+IO_BITROT = "io-bitrot"
+
+_IO_ACTIONS = (IO_ERROR, IO_TORN, IO_BITROT)
+
+
+@dataclass
+class WriteFault:
+    """One planned IO fault: fire ``action`` at the ``nth`` write whose
+    target path matches ``pattern`` (fnmatch against the file name and
+    the full posix path), for ``times`` consecutive matching writes."""
+
+    pattern: str
+    action: str = IO_ERROR
+    #: ``errno`` raised for :data:`IO_ERROR` faults.
+    err: int = _errno.ENOSPC
+    #: 1-based index of the first matching write affected.
+    nth: int = 1
+    #: Number of consecutive matching writes affected (use a large
+    #: value to simulate a persistently failing device).
+    times: int = 1
+    #: Bytes torn off the tail (:data:`IO_TORN`) or the byte offset
+    #: flipped (:data:`IO_BITROT`).
+    detail: int = 64
+    #: Matching writes seen so far (mutated by the shim).
+    seen: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.action not in _IO_ACTIONS:
+            raise ValueError(f"unknown IO fault action {self.action!r}")
+        if self.nth < 1 or self.times < 1:
+            raise ValueError("nth and times must be >= 1")
+
+    def matches(self, path: Path) -> bool:
+        return fnmatch.fnmatch(path.name, self.pattern) or fnmatch.fnmatch(
+            path.as_posix(), f"*{self.pattern}"
+        )
+
+
+class IoShim:
+    """Deterministic fault layer the atomic-write path consults.
+
+    Stateless apart from per-fault match counters, so one shim instance
+    describes one run's worth of planned damage.  ``fired`` records
+    every (fault, path) hit for test assertions.
+    """
+
+    def __init__(self, faults: Iterable[WriteFault] = ()) -> None:
+        self.faults: list[WriteFault] = list(faults)
+        self.fired: list[tuple[WriteFault, str]] = []
+
+    def take(self, path: Path) -> WriteFault | None:
+        """The fault (if any) to execute for this write attempt."""
+        for fault in self.faults:
+            if not fault.matches(path):
+                continue
+            fault.seen += 1
+            if fault.nth <= fault.seen < fault.nth + fault.times:
+                self.fired.append((fault, str(path)))
+                obs.event(
+                    "io.fault",
+                    path=path.name,
+                    action=fault.action,
+                    attempt=fault.seen,
+                )
+                return fault
+        return None
+
+
+_IO_SHIM: IoShim | None = None
+
+
+def set_io_shim(shim: IoShim | None) -> IoShim | None:
+    """Install (or with ``None`` remove) the process-global IO shim.
+
+    Returns the previously installed shim so callers can restore it --
+    the checkpoint runner installs its fault plan's shim for the
+    duration of a run.  Production runs install nothing and pay one
+    global read per write.
+    """
+    global _IO_SHIM
+    previous = _IO_SHIM
+    _IO_SHIM = shim
+    return previous
+
+
+def io_shim() -> IoShim | None:
+    """The installed IO shim, or ``None``."""
+    return _IO_SHIM
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry for transient ``OSError`` s on payload writes.
+
+    The schedule is a fixed tuple of delays -- no wall-clock reads, no
+    randomness, no jitter -- so two same-seed runs that hit the same
+    injected faults retry identically.  ``sleep`` is injectable (tests
+    pass a recorder) and only *waits*; it never influences what happens
+    next.
+    """
+
+    retries: int = 3
+    delays: tuple[float, ...] = (0.01, 0.05, 0.25)
+    sleep: Callable[[float], None] = time.sleep
+
+    def delay_for(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (0-based)."""
+        if not self.delays:
+            return 0.0
+        return self.delays[min(attempt, len(self.delays) - 1)]
+
+
+#: Policy applied when callers pass none: three retries, sub-second
+#: total backoff -- enough to ride out transient EIO/EAGAIN blips
+#: without stalling a crashed-disk run for minutes.
+DEFAULT_RETRY = RetryPolicy()
+
+#: Sentinel distinguishing "caller wants no retries" (``None``) from
+#: "caller wants the default policy" (argument omitted).
+_UNSET = object()
+
+
+# ----------------------------------------------------------------------
+# fsync helpers
+# ----------------------------------------------------------------------
+
+_fsync_dir_warned = False
+
+
+def _note_fsync_failure(path: str | Path, exc: OSError) -> None:
+    """Count a directory-fsync failure and warn exactly once.
+
+    Some filesystems (and most CI sandboxes) reject directory fsync;
+    the rename is still atomic, only its *durability* across power loss
+    is weaker.  That is worth one warning and a counter -- not a
+    per-write log storm, and never a crashed simulation.
+    """
+    global _fsync_dir_warned
+    _FSYNC_FAILURES.inc()
+    if not _fsync_dir_warned:
+        _fsync_dir_warned = True
+        _log.warning(
+            "directory fsync failed for %s (%s); renames remain atomic "
+            "but may not survive power loss on this filesystem",
+            path,
+            exc,
+        )
+
 
 def fsync_dir(path: str | Path) -> None:
-    """Best-effort fsync of a directory (persists renames within it)."""
+    """Best-effort fsync of a directory (persists renames within it).
+
+    Failures are surfaced through the ``io.fsync_failures`` counter and
+    a one-time warning rather than silently swallowed.
+    """
     try:
         fd = os.open(path, os.O_RDONLY)
-    except OSError:
+    except OSError as exc:
+        _note_fsync_failure(path, exc)
         return
     try:
         os.fsync(fd)
-    except OSError:
-        pass
+    except OSError as exc:
+        _note_fsync_failure(path, exc)
     finally:
         os.close(fd)
+
+
+# ----------------------------------------------------------------------
+# Atomic writers
+# ----------------------------------------------------------------------
 
 
 @contextmanager
@@ -49,7 +268,13 @@ def atomic_writer(
     """Context manager yielding a handle whose contents land atomically.
 
     On clean exit the temporary file is fsynced and renamed over
-    ``path``; on any exception it is removed and ``path`` is untouched.
+    ``path``; on any exception -- including one raised by the rename
+    itself -- the temporary file is removed and ``path`` is untouched.
+
+    This streaming form cannot retry (the caller's writes are not
+    replayable); whole-payload writers should use
+    :func:`atomic_write_bytes` / :func:`atomic_write_text`, which add
+    fault injection and bounded retry.
     """
     if mode not in ("w", "wb"):
         raise ValueError(f"atomic_writer supports 'w'/'wb', not {mode!r}")
@@ -65,20 +290,94 @@ def atomic_writer(
         tmp.unlink(missing_ok=True)
         raise
     handle.close()
-    os.replace(tmp, target)
+    try:
+        os.replace(tmp, target)
+    except BaseException:
+        # os.replace can itself fail (EXDEV, ENOENT on a vanished
+        # directory, EIO); the contract is "old file or new file",
+        # never "plus a stray .tmp".
+        tmp.unlink(missing_ok=True)
+        raise
     fsync_dir(target.parent)
 
 
-def atomic_write_bytes(path: str | Path, data: bytes) -> None:
-    """Atomically write ``data`` to ``path``."""
-    with atomic_writer(path, mode="wb") as handle:
-        handle.write(data)
+def _flip_byte(path: Path, offset: int) -> None:
+    """Invert one byte of ``path`` in place (injected bitrot)."""
+    data = bytearray(path.read_bytes())
+    if not data:
+        return
+    index = offset % len(data)
+    data[index] ^= 0xFF
+    path.write_bytes(bytes(data))
 
 
-def atomic_write_text(path: str | Path, text: str) -> None:
-    """Atomically write ``text`` to ``path``."""
-    with atomic_writer(path, mode="w") as handle:
-        handle.write(text)
+def _write_once(target: Path, data: bytes) -> None:
+    """One attempt of the tmp + fsync + replace protocol, shim applied."""
+    shim = _IO_SHIM
+    fault = shim.take(target) if shim is not None else None
+    if fault is not None and fault.action == IO_ERROR:
+        raise OSError(fault.err, os.strerror(fault.err), str(target))
+    payload = data
+    if fault is not None and fault.action == IO_TORN:
+        payload = data[: max(0, len(data) - fault.detail)]
+    tmp = target.with_name(target.name + ".tmp")
+    handle = open(tmp, "wb")
+    try:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    except BaseException:
+        handle.close()
+        tmp.unlink(missing_ok=True)
+        raise
+    handle.close()
+    try:
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    fsync_dir(target.parent)
+    if fault is not None and fault.action == IO_BITROT:
+        _flip_byte(target, fault.detail)
+
+
+def atomic_write_bytes(
+    path: str | Path, data: bytes, retry: RetryPolicy | None = _UNSET
+) -> None:
+    """Atomically write ``data`` to ``path``, retrying transient errors.
+
+    Raises the final ``OSError`` once the retry budget is exhausted
+    (``retry=None`` disables retries entirely).  Every retry bumps the
+    ``io.retries`` counter; an exhausted budget bumps ``io.giveups``.
+    """
+    if retry is _UNSET:
+        retry = DEFAULT_RETRY
+    target = Path(path)
+    attempt = 0
+    while True:
+        try:
+            _write_once(target, data)
+            return
+        except OSError as exc:
+            if retry is None or attempt >= retry.retries:
+                _GIVEUPS.inc()
+                obs.event(
+                    "io.giveup",
+                    path=target.name,
+                    attempts=attempt + 1,
+                    error=str(exc),
+                )
+                raise
+            _RETRIES.inc()
+            retry.sleep(retry.delay_for(attempt))
+            attempt += 1
+
+
+def atomic_write_text(
+    path: str | Path, text: str, retry: RetryPolicy | None = _UNSET
+) -> None:
+    """Atomically write ``text`` to ``path`` (UTF-8), with retries."""
+    atomic_write_bytes(path, text.encode("utf-8"), retry=retry)
 
 
 def sha256_bytes(data: bytes) -> str:

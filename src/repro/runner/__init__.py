@@ -3,13 +3,27 @@
 :class:`CheckpointRunner` persists simulation progress at phase
 boundaries and per-N-day impression chunks, all written atomically, so
 a minutes-long full-scale run survives crashes and resumes
-bit-identically.  :class:`FaultPlan` injects crashes and corruption at
-exact, named points so every recovery path is testable.  CLI::
+bit-identically.  :class:`FaultPlan` injects crashes, corruption and
+filesystem IO errors (via :class:`WriteFault`) at exact, named points
+so every recovery path is testable.  :func:`verify_run` audits a run
+directory against its manifest and :func:`repair_run` re-simulates
+damage back to vouched bytes.  CLI::
 
-    python -m repro.runner --checkpoint-dir RUNS/x [--resume]
+    python -m repro.runner run --checkpoint-dir RUNS/x [--resume]
+    python -m repro.runner verify RUNS/x
+    python -m repro.runner doctor RUNS/x --repair
 """
 
-from .faults import Fault, FaultPlan, InjectedCrash
+from .doctor import RepairReport, VerifyReport, repair_run, verify_run
+from .faults import (
+    IO_BITROT,
+    IO_ERROR,
+    IO_TORN,
+    Fault,
+    FaultPlan,
+    InjectedCrash,
+    WriteFault,
+)
 from .manifest import ChunkEntry, RunManifest, config_sha256
 from .runner import CheckpointRunner
 
@@ -21,4 +35,12 @@ __all__ = [
     "Fault",
     "FaultPlan",
     "InjectedCrash",
+    "WriteFault",
+    "IO_ERROR",
+    "IO_TORN",
+    "IO_BITROT",
+    "VerifyReport",
+    "RepairReport",
+    "verify_run",
+    "repair_run",
 ]

@@ -3,8 +3,23 @@
 Run a full simulation with durable checkpoints, or resume one that was
 interrupted::
 
-    python -m repro.runner --checkpoint-dir RUNS/x
-    python -m repro.runner --checkpoint-dir RUNS/x --resume
+    python -m repro.runner run --checkpoint-dir RUNS/x
+    python -m repro.runner run --checkpoint-dir RUNS/x --resume
+
+(the ``run`` subcommand is optional, so pre-doctor invocations like
+``python -m repro.runner --checkpoint-dir RUNS/x`` keep working).
+
+Audit or repair an existing run directory::
+
+    python -m repro.runner verify RUNS/x
+    python -m repro.runner doctor RUNS/x --repair
+
+``verify`` re-checksums every vouched artifact and reports stray
+``.tmp`` files; it exits 0 only for a healthy directory (1 = damage,
+2 = the manifest itself is unreadable).  ``doctor --repair``
+quarantines damaged/stray files and deterministically re-simulates
+exactly the damaged day ranges back to the manifest's vouched bytes --
+see :mod:`repro.runner.doctor` for the repair contract.
 
 The run directory carries everything needed to continue: see
 :mod:`repro.runner.runner` for the layout and recovery semantics.
@@ -13,6 +28,7 @@ The run directory carries everything needed to continue: see
 from __future__ import annotations
 
 import argparse
+import sys
 from dataclasses import replace
 from pathlib import Path
 
@@ -24,7 +40,7 @@ from ..records.atomic import atomic_write_text
 log = obs.get_logger("runner.cli")
 
 
-def main(argv: list[str] | None = None) -> int:
+def _main_run(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runner",
         description="Run a simulation with crash-safe checkpoints.",
@@ -111,6 +127,71 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"wrote {validation_json}")
     return 0
+
+
+def _main_verify(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner verify",
+        description="Re-checksum every vouched artifact in a run directory.",
+    )
+    parser.add_argument("run_dir", type=Path, help="run directory to audit")
+    args = parser.parse_args(argv)
+    obs.setup_logging()
+
+    from .doctor import render_verify, verify_run
+
+    try:
+        report = verify_run(args.run_dir)
+    except ReproError as exc:
+        log.error("%s", exc)
+        return 2
+    print(render_verify(report))
+    return 0 if report.ok else 1
+
+
+def _main_doctor(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner doctor",
+        description=(
+            "Diagnose a run directory; with --repair, quarantine damage "
+            "and re-simulate it back to the manifest's vouched bytes."
+        ),
+    )
+    parser.add_argument("run_dir", type=Path, help="run directory to doctor")
+    parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine damaged/stray files and re-simulate the damage",
+    )
+    args = parser.parse_args(argv)
+    obs.setup_logging()
+
+    from .doctor import render_repair, render_verify, repair_run, verify_run
+
+    try:
+        if not args.repair:
+            report = verify_run(args.run_dir)
+            print(render_verify(report))
+            if not report.ok:
+                print("run `doctor --repair` to quarantine and re-simulate")
+            return 0 if report.ok else 1
+        repair = repair_run(args.run_dir)
+    except ReproError as exc:
+        log.error("%s", exc)
+        return 2
+    print(render_repair(repair))
+    return 0 if repair.verify is not None and repair.verify.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "verify":
+        return _main_verify(argv[1:])
+    if argv and argv[0] == "doctor":
+        return _main_doctor(argv[1:])
+    if argv and argv[0] == "run":
+        argv = argv[1:]
+    return _main_run(argv)
 
 
 if __name__ == "__main__":

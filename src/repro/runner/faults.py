@@ -35,6 +35,16 @@ Actions:
     entry: ``"config_sha256"`` (resume must refuse with
     :class:`~repro.errors.SimulationError`) or ``"tail-chunk-sha256"``
     (resume must discard the tail chunk and re-simulate its days).
+
+Beyond the site faults, a plan can carry **IO faults**
+(:class:`~repro.records.atomic.WriteFault`): declarative "the disk
+lies" scenarios -- ``ENOSPC``/``EIO`` raised at the Nth write matching
+a path pattern, a torn write that silently drops the payload tail, or
+a flipped byte after a successful write.  The checkpoint runner
+installs the plan's :class:`~repro.records.atomic.IoShim` into the
+atomic-write layer for the duration of the run, so the same
+:class:`FaultPlan` object describes both *when the process dies* and
+*when the filesystem lies*.
 """
 
 from __future__ import annotations
@@ -44,8 +54,21 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from .. import obs
+from ..records.atomic import IO_BITROT, IO_ERROR, IO_TORN, IoShim, WriteFault
 
-__all__ = ["CRASH", "TRUNCATE_CHUNK", "CORRUPT_MANIFEST", "Fault", "FaultPlan", "InjectedCrash"]
+__all__ = [
+    "CRASH",
+    "TRUNCATE_CHUNK",
+    "CORRUPT_MANIFEST",
+    "IO_ERROR",
+    "IO_TORN",
+    "IO_BITROT",
+    "Fault",
+    "FaultPlan",
+    "InjectedCrash",
+    "IoShim",
+    "WriteFault",
+]
 
 CRASH = "crash"
 TRUNCATE_CHUNK = "truncate-chunk"
@@ -84,13 +107,30 @@ class FaultPlan:
 
     The runner calls :meth:`fire` at every instrumentation site; the
     plan executes (and consumes) the first pending fault whose site and
-    day match.  An empty plan is inert, so production runs pass no plan
-    at all.
+    day match.  ``io_faults`` additionally plan filesystem-level damage
+    (see :class:`~repro.records.atomic.WriteFault`); the runner
+    installs :meth:`io_shim` into the atomic-write layer for the
+    duration of the run.  An empty plan is inert, so production runs
+    pass no plan at all.
     """
 
-    def __init__(self, faults: Iterable[Fault] = ()) -> None:
+    def __init__(
+        self,
+        faults: Iterable[Fault] = (),
+        io_faults: Iterable[WriteFault] = (),
+    ) -> None:
         self._pending: list[Fault] = list(faults)
         self.fired: list[Fault] = []
+        self._io_shim = IoShim(io_faults) if io_faults else None
+
+    def io_shim(self) -> IoShim | None:
+        """The shim carrying this plan's IO faults (``None`` if none)."""
+        return self._io_shim
+
+    @property
+    def io_fired(self) -> list:
+        """IO faults that have fired, as ``(fault, path)`` pairs."""
+        return list(self._io_shim.fired) if self._io_shim else []
 
     @classmethod
     def crash_at(cls, site: str, day: int | None = None) -> "FaultPlan":
@@ -119,9 +159,14 @@ class FaultPlan:
             _corrupt_manifest(runner, str(fault.detail or "config_sha256"))
         # Make the injected fault itself durable: real crashes leave no
         # trace, but *injected* ones are the tool that debugs recovery,
-        # so flush the attached sinks before dying.
+        # so flush the attached sinks before dying.  Best-effort only:
+        # a plan that also breaks the telemetry device must still die
+        # of the *injected* crash, not of the flush.
         obs.event("runner.fault", site=site, day=day, action=fault.action)
-        obs.tracer().flush()
+        try:
+            obs.tracer().flush()
+        except OSError:
+            pass
         raise InjectedCrash(f"injected {fault.action} at {where}")
 
 

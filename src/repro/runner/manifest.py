@@ -24,8 +24,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from .._version import __version__
-from ..config import SimulationConfig
-from ..errors import SimulationError
+from ..config import SimulationConfig, config_from_dict
+from ..errors import ConfigError, SimulationError
 from ..records.atomic import atomic_write_text
 
 __all__ = [
@@ -97,12 +97,19 @@ class RunManifest:
     phase: str = "phase1"
     format: str = MANIFEST_FORMAT
     package_version: str = __version__
-    #: Relative artifact path -> hex SHA-256 (phase1/market snapshots).
+    #: Relative artifact path -> hex SHA-256: the phase1/market
+    #: snapshots plus the day ledger at its last durable flush -- every
+    #: non-chunk artifact the doctor can vouch for.
     artifacts: dict[str, str] = field(default_factory=dict)
     #: RNG states at the start of Phase 3 (right after the market
     #: snapshot became durable); the resume point when no chunk exists.
     phase3_start_rng: dict | None = None
     chunks: list[ChunkEntry] = field(default_factory=list)
+    #: The full configuration (``dataclasses.asdict`` form), embedded
+    #: so ``verify``/``doctor`` can re-simulate damaged artifacts
+    #: without the caller re-supplying CLI flags.  ``None`` only for
+    #: manifests written before this field existed.
+    config: dict | None = None
 
     @classmethod
     def fresh(
@@ -114,7 +121,29 @@ class RunManifest:
             seed=config.seed,
             days=config.days,
             checkpoint_every=checkpoint_every,
+            config=dataclasses.asdict(config),
         )
+
+    def simulation_config(self) -> SimulationConfig | None:
+        """Rebuild the embedded configuration, verifying its hash.
+
+        Returns ``None`` for pre-doctor manifests that carry only the
+        hash; raises :class:`SimulationError` if the embedded config no
+        longer matches ``config_sha256`` (a hand-edited manifest must
+        not smuggle in a different run).
+        """
+        if self.config is None:
+            return None
+        try:
+            config = config_from_dict(self.config)
+        except ConfigError as exc:
+            raise SimulationError(f"embedded config is invalid: {exc}") from None
+        if config_sha256(config) != self.config_sha256:
+            raise SimulationError(
+                "embedded config does not match config_sha256; the "
+                "manifest has been tampered with"
+            )
+        return config
 
     @property
     def next_day(self) -> int:
@@ -172,6 +201,7 @@ class RunManifest:
                 chunks=[
                     ChunkEntry.from_dict(chunk) for chunk in payload["chunks"]
                 ],
+                config=payload.get("config"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SimulationError(f"malformed manifest {path}: {exc}") from None

@@ -52,7 +52,12 @@ from ..config import SimulationConfig
 from ..errors import ConfigError, SimulationError
 from ..obs.sink import TELEMETRY_NAME, JsonlSink
 from ..obs.timeseries import DAYLEDGER_NAME, DayLedger
-from ..records.atomic import atomic_write_bytes, sha256_bytes, sha256_file
+from ..records.atomic import (
+    atomic_write_bytes,
+    set_io_shim,
+    sha256_bytes,
+    sha256_file,
+)
 from ..records.impressions import ImpressionBuilder, ImpressionTable
 from ..simulator.engine import SimulationEngine
 from ..simulator.market import MarketIndex
@@ -78,6 +83,9 @@ _CHUNK_FIELDS = set(ImpressionTable.field_names())
 _CHUNKS_WRITTEN = obs.counter("runner.chunks_written")
 _CHUNKS_VERIFIED = obs.counter("runner.chunks_verified")
 _TAILS_DISCARDED = obs.counter("runner.tail_chunks_discarded")
+_IO_DEGRADED = obs.counter("io.degraded")
+
+_log = obs.get_logger("runner")
 
 
 class CheckpointRunner:
@@ -107,6 +115,8 @@ class CheckpointRunner:
         self._faults = faults if faults is not None else FaultPlan()
         self._sink: JsonlSink | None = None
         self._ledger: DayLedger | None = None
+        #: Auxiliary artifacts whose writes have already warned once.
+        self._degraded: set[str] = set()
 
     # ------------------------------------------------------------------
     # Entry point
@@ -140,6 +150,12 @@ class CheckpointRunner:
         resuming = has_manifest
 
         self.chunk_dir.mkdir(parents=True, exist_ok=True)
+        # Install the fault plan's IO shim (if any) for the duration of
+        # the run: every atomic write -- chunks, manifest, snapshots,
+        # ledger, telemetry -- goes through the shimmed layer, so a
+        # plan can make the disk lie about any artifact.
+        shim = self._faults.io_shim()
+        prior_shim = set_io_shim(shim) if shim is not None else None
         if self.telemetry:
             self._sink = JsonlSink(self.run_dir / TELEMETRY_NAME)
             obs.add_sink(self._sink)
@@ -160,7 +176,7 @@ class CheckpointRunner:
                     rows=len(result.impressions),
                 )
                 obs.publish_metrics()
-                self._sink.flush()
+                self._flush_telemetry()
             return result
         finally:
             # On an exception (including an injected or real crash
@@ -173,6 +189,58 @@ class CheckpointRunner:
             if self._ledger is not None:
                 obs.set_dayledger(prior_ledger)
                 self._ledger = None
+            if shim is not None:
+                set_io_shim(prior_shim)
+
+    # ------------------------------------------------------------------
+    # Graceful degradation of auxiliary sinks
+    # ------------------------------------------------------------------
+
+    def _degrade(self, artifact: str, exc: OSError) -> None:
+        """Record a persistent auxiliary-write failure and carry on.
+
+        Telemetry and the day ledger are conveniences layered on top of
+        the simulation: losing them must never lose the run.  Each
+        failure bumps ``io.degraded`` and emits an ``io.degraded``
+        event; the first failure per artifact also logs a warning.
+        """
+        _IO_DEGRADED.inc()
+        obs.event("io.degraded", artifact=artifact, error=str(exc))
+        if artifact not in self._degraded:
+            self._degraded.add(artifact)
+            _log.warning(
+                "auxiliary write of %s failed (%s); the simulation "
+                "continues without it",
+                artifact,
+                exc,
+            )
+
+    def _flush_ledger(self, manifest: RunManifest) -> None:
+        """Flush the day ledger and vouch its checksum in the manifest.
+
+        Called *before* ``manifest.save`` at every durable point, so
+        the durable ledger is never older than the manifest.  A
+        persistent write failure degrades: the manifest keeps vouching
+        the last ledger content that actually landed (atomic writes
+        leave old-or-new, never a hybrid).
+        """
+        if self._ledger is None:
+            return
+        try:
+            text = self._ledger.flush(self.ledger_path)
+        except OSError as exc:
+            self._degrade(DAYLEDGER_NAME, exc)
+            return
+        manifest.artifacts[DAYLEDGER_NAME] = sha256_bytes(text.encode("utf-8"))
+
+    def _flush_telemetry(self) -> None:
+        """Flush the telemetry sink, degrading on persistent failure."""
+        if self._sink is None:
+            return
+        try:
+            self._sink.flush()
+        except OSError as exc:
+            self._degrade(TELEMETRY_NAME, exc)
 
     def _run(self, resuming: bool) -> SimulationResult:
         """The checkpointed run body (telemetry sink already attached)."""
@@ -222,8 +290,7 @@ class CheckpointRunner:
                 with obs.maybe_profile("phase3", self.run_dir):
                     chunks += self._run_phase3(engine, market, manifest)
                 self._faults.fire("finalize", runner=self)
-                if self._ledger is not None:
-                    self._ledger.flush(self.ledger_path)
+                self._flush_ledger(manifest)
                 manifest.phase = "complete"
                 manifest.save(self.manifest_path)
 
@@ -291,11 +358,10 @@ class CheckpointRunner:
         }
         manifest.phase3_start_rng = engine.rng_state()
         manifest.phase = "phase3"
-        if self._ledger is not None:
-            # Ledger before manifest: a crash between the two leaves a
-            # ledger that is *newer* than the manifest, and preload only
-            # trusts what the manifest vouches for.
-            self._ledger.flush(self.ledger_path)
+        # Ledger before manifest: a crash between the two leaves a
+        # ledger that is *newer* than the manifest, and preload only
+        # trusts what the manifest vouches for.
+        self._flush_ledger(manifest)
         manifest.save(self.manifest_path)
         self._faults.fire("phase1:end", runner=self)
         return summaries, market
@@ -426,10 +492,9 @@ class CheckpointRunner:
                 rng_after=engine.rng_state(),
             )
         )
-        if self._ledger is not None:
-            # Same ordering as the Phase-1 flush: ledger first, so the
-            # durable ledger is never older than the manifest.
-            self._ledger.flush(self.ledger_path)
+        # Same ordering as the Phase-1 flush: ledger first, so the
+        # durable ledger is never older than the manifest.
+        self._flush_ledger(manifest)
         manifest.save(self.manifest_path)
         _CHUNKS_WRITTEN.inc()
         obs.event(
@@ -442,4 +507,4 @@ class CheckpointRunner:
         # The manifest just became durable; make the telemetry match it.
         if self._sink is not None:
             obs.publish_metrics()
-            self._sink.flush()
+            self._flush_telemetry()

@@ -488,6 +488,7 @@ class SimulationEngine:
         market: MarketIndex,
         builder: ImpressionBuilder,
         start_day: int = 0,
+        end_day: int | None = None,
         on_day_complete=None,
     ) -> None:
         """Phase 3: the daily auction loop, array-native.
@@ -504,15 +505,22 @@ class SimulationEngine:
         happen inside the day body, so a caller that restores the
         stream states captured after day ``start_day - 1`` (see
         :meth:`rng_state`) continues the exact draw sequence of an
-        uninterrupted run.  ``on_day_complete(day)`` fires after each
-        day's rows are in ``builder`` -- including days that produced
-        no rows -- which is where the checkpoint runner persists
-        progress.
+        uninterrupted run.  ``end_day`` (exclusive, default: the whole
+        horizon) stops the loop early with the streams positioned
+        exactly as an uninterrupted run would have them after day
+        ``end_day - 1`` -- the run doctor uses this to re-simulate just
+        a damaged chunk's day range.  ``on_day_complete(day)`` fires
+        after each day's rows are in ``builder`` -- including days that
+        produced no rows -- which is where the checkpoint runner
+        persists progress.
         """
         config = self.config
-        if not 0 <= start_day <= config.days:
+        if end_day is None:
+            end_day = config.days
+        if not 0 <= start_day <= end_day <= config.days:
             raise SimulationError(
-                f"start_day {start_day} outside [0, {config.days}]"
+                f"day range [{start_day}, {end_day}) outside "
+                f"[0, {config.days}]"
             )
         sampler = QuerySampler(config.query)
         auction_config = config.auction
@@ -527,7 +535,7 @@ class SimulationEngine:
         with obs.span(
             "phase3.auctions", start_day=start_day, days=config.days
         ) as phase_span:
-            for day in range(start_day, config.days):
+            for day in range(start_day, end_day):
                 if ledger is not None:
                     # Open (and zero) the ledger row before the day body
                     # so early-out days (no live offers, no candidates)

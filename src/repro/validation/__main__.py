@@ -1,6 +1,12 @@
 """Command line validation: simulate and check every paper target.
 
     python -m repro.validation [--small] [--seed N] [--json] [--out PATH]
+    python -m repro.validation --run-dir RUNS/x [--json] [--out PATH]
+
+``--run-dir`` validates an existing *completed* checkpoint-runner run
+instead of simulating fresh: the configuration is rebuilt from the
+manifest's embedded copy (hash-verified), and the result is
+reconstructed from the durable chunks without re-simulating a day.
 """
 
 from __future__ import annotations
@@ -41,8 +47,20 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write the JSON payload to this path (atomic)",
     )
+    parser.add_argument(
+        "--run-dir",
+        type=Path,
+        default=None,
+        help="validate a completed checkpoint-runner run directory "
+        "(config comes from its manifest; --small/--seed are rejected)",
+    )
     args = parser.parse_args(argv)
     obs.setup_logging()
+    if args.run_dir is not None:
+        if args.small or args.seed is not None:
+            parser.error("--run-dir takes its config from the manifest; "
+                         "drop --small/--seed")
+        return _validate_run_dir(args)
     if args.small:
         config = small_config() if args.seed is None else small_config(seed=args.seed)
     else:
@@ -55,6 +73,51 @@ def main(argv: list[str] | None = None) -> int:
     # with "validator crashed".
     try:
         result = cached_simulation(config)
+        checks = run_validation(result)
+    except ReproError as exc:
+        log.error("%s", exc)
+        return 2
+    payload = checks_to_json(checks)
+    if args.out is not None:
+        from ..records.atomic import atomic_write_text
+
+        atomic_write_text(args.out, json.dumps(payload, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_report(checks))
+    if args.strict and any(not check.ok for check in checks):
+        return 1
+    return 0
+
+
+def _validate_run_dir(args: argparse.Namespace) -> int:
+    """Validate the simulation a completed run directory durably holds."""
+    from ..runner import CheckpointRunner, RunManifest
+    from ..runner.manifest import MANIFEST_NAME
+
+    try:
+        manifest = RunManifest.load(args.run_dir / MANIFEST_NAME)
+        if manifest.phase != "complete":
+            log.error(
+                "%s: run is in phase %r; finish it before validating",
+                args.run_dir, manifest.phase,
+            )
+            return 2
+        config = manifest.simulation_config()
+        if config is None:
+            log.error(
+                "%s: manifest predates embedded configs; re-run or pass "
+                "the config explicitly via the runner CLI", args.run_dir,
+            )
+            return 2
+        # A completed run resumes without simulating a day: snapshots
+        # and chunks are checksum-verified and reloaded.  Telemetry and
+        # ledger sinks stay off -- validation must not mutate the run.
+        runner = CheckpointRunner(
+            config, args.run_dir, telemetry=False, ledger=False
+        )
+        result = runner.run(resume=True)
         checks = run_validation(result)
     except ReproError as exc:
         log.error("%s", exc)

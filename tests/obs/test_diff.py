@@ -254,3 +254,39 @@ class TestDiffCli:
         assert obs_main(["diff", str(a), str(b)]) == 0
         out = capsys.readouterr().out
         assert "day-ledger series" in out
+
+
+class TestDegradedRule:
+    def test_undegraded_run_passes_budget_zero(self, tmp_path):
+        a = make_run(tmp_path, "a")
+        b = make_run(tmp_path, "b")
+        diff = diff_runs(load_run(a), load_run(b))
+        assert evaluate_fail_on(diff, parse_fail_on(["degraded=0"])) == []
+
+    def test_degraded_counters_fail_budget(self, tmp_path):
+        a = make_run(tmp_path, "a")
+        b = make_run(
+            tmp_path, "b",
+            counters={"io.degraded": 3, "io.giveups": 1},
+        )
+        diff = diff_runs(load_run(a), load_run(b))
+        violations = evaluate_fail_on(diff, {"degraded": 0.0})
+        assert violations and "degraded" in violations[0]
+        # Four degradations fit inside a budget of four.
+        assert evaluate_fail_on(diff, {"degraded": 4.0}) == []
+
+    def test_degradation_in_a_does_not_count(self, tmp_path):
+        # The rule gates the *candidate* run; a noisy baseline is not
+        # the candidate's regression.
+        a = make_run(tmp_path, "a", counters={"io.degraded": 9})
+        b = make_run(tmp_path, "b")
+        diff = diff_runs(load_run(a), load_run(b))
+        assert evaluate_fail_on(diff, {"degraded": 0.0}) == []
+
+    def test_missing_telemetry_in_b_violates(self, tmp_path):
+        a = make_run(tmp_path, "a")
+        b = make_run(tmp_path, "b")
+        (b / "telemetry.jsonl").unlink()
+        diff = diff_runs(load_run(a), load_run(b))
+        violations = evaluate_fail_on(diff, {"degraded": 0.0})
+        assert violations and "telemetry" in violations[0]

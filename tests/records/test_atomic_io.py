@@ -78,6 +78,40 @@ class TestAtomicWriter:
         atomic_write_bytes(target, payload)
         assert sha256_file(target) == sha256_bytes(payload)
 
+    def test_failing_replace_leaves_no_tmp(self, tmp_path, monkeypatch):
+        # Regression: when os.replace itself raises (EXDEV, EIO, a
+        # vanished directory), the .tmp file must not survive -- the
+        # contract is "old file or new file", never "plus a stray tmp".
+        import os
+
+        target = tmp_path / "out.txt"
+        target.write_text("original")
+
+        def failing_replace(src, dst):
+            raise OSError("injected replace failure")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError, match="injected replace failure"):
+            with atomic_writer(target) as handle:
+                handle.write("new content")
+        monkeypatch.undo()
+        assert target.read_text() == "original"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_failing_replace_leaves_no_tmp_bytes_path(self, tmp_path, monkeypatch):
+        import os
+
+        target = tmp_path / "out.bin"
+
+        def failing_replace(src, dst):
+            raise OSError("injected replace failure")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError):
+            atomic_write_bytes(target, b"payload", retry=None)
+        monkeypatch.undo()
+        assert list(tmp_path.iterdir()) == []
+
 
 class TestCsvRoundTripAndErrors:
     def test_round_trip_is_exact(self, tmp_path):

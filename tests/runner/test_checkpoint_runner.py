@@ -42,7 +42,11 @@ class TestFreshRun:
         runner, _ = completed_run
         manifest = RunManifest.load(runner.manifest_path)
         assert manifest.phase == "complete"
-        assert set(manifest.artifacts) == {"phase1.pkl", "market.pkl"}
+        assert set(manifest.artifacts) == {
+            "phase1.pkl",
+            "market.pkl",
+            "dayledger.jsonl",
+        }
         assert all(len(sha) == 64 for sha in manifest.artifacts.values())
         assert manifest.next_day == RUNNER_DAYS
         for chunk in manifest.chunks:

@@ -82,3 +82,81 @@ class TestRunnerCli:
         )
         assert code == 2
         assert "checkpoint_every must be >= 1" in capsys.readouterr().err
+
+
+class TestVerifyDoctorCli:
+    """`python -m repro.runner verify|doctor` and `--run-dir` validation."""
+
+    ARGS = ["--small", "--seed", "5", "--days", "12", "--checkpoint-every", "5"]
+
+    @pytest.fixture()
+    def run_dir(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        # The explicit `run` subcommand is equivalent to the bare form.
+        assert runner_main(["run", "--checkpoint-dir", str(run_dir), *self.ARGS]) == 0
+        capsys.readouterr()
+        return run_dir
+
+    def _bitrot(self, run_dir):
+        victim = sorted((run_dir / "chunks").iterdir())[0]
+        data = bytearray(victim.read_bytes())
+        data[100] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        return victim
+
+    def test_verify_healthy_exits_zero(self, run_dir, capsys):
+        assert runner_main(["verify", str(run_dir)]) == 0
+        assert "HEALTHY" in capsys.readouterr().out
+
+    def test_verify_damage_exits_one(self, run_dir, capsys):
+        self._bitrot(run_dir)
+        assert runner_main(["verify", str(run_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "DAMAGED" in out and "checksum" in out
+
+    def test_verify_unreadable_manifest_exits_two(self, run_dir, capsys):
+        (run_dir / "MANIFEST.json").write_text("{broken")
+        assert runner_main(["verify", str(run_dir)]) == 2
+
+    def test_doctor_dry_run_reports_without_touching(self, run_dir, capsys):
+        victim = self._bitrot(run_dir)
+        damaged = victim.read_bytes()
+        assert runner_main(["doctor", str(run_dir)]) == 1
+        assert "--repair" in capsys.readouterr().out
+        assert victim.read_bytes() == damaged  # diagnosis only
+
+    def test_doctor_repair_restores_health(self, run_dir, capsys):
+        self._bitrot(run_dir)
+        assert runner_main(["doctor", str(run_dir), "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "chunk-replay" in out and "HEALTHY" in out
+        assert runner_main(["verify", str(run_dir)]) == 0
+
+    def test_validation_from_run_dir(self, tmp_path, capsys):
+        # Full small-scale horizon: the validation suite needs enough
+        # days for its policy-window subsets to be non-empty.
+        run_dir = tmp_path / "run"
+        assert (
+            runner_main(
+                [
+                    "run",
+                    "--checkpoint-dir",
+                    str(run_dir),
+                    "--small",
+                    "--checkpoint-every",
+                    "60",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = validate_main(["--run-dir", str(run_dir)])
+        assert code == 0
+        assert "targets in band" in capsys.readouterr().out
+
+    def test_validation_run_dir_rejects_config_flags(self, run_dir, capsys):
+        with pytest.raises(SystemExit):
+            validate_main(["--run-dir", str(run_dir), "--small"])
+
+    def test_validation_run_dir_missing_exits_two(self, tmp_path, capsys):
+        assert validate_main(["--run-dir", str(tmp_path / "void")]) == 2

@@ -101,3 +101,45 @@ class TestOverrides:
         config = default_config()
         with pytest.raises(dataclasses.FrozenInstanceError):
             config.days = 5
+
+
+class TestConfigDictRoundTrip:
+    """`config_from_dict` must invert `dataclasses.asdict` exactly --
+    the manifest embeds configs in that form for the run doctor."""
+
+    def test_round_trip_default_and_small(self):
+        from repro.config import config_from_dict
+
+        for config in (default_config(), small_config(seed=3, days=9)):
+            payload = dataclasses.asdict(config)
+            assert config_from_dict(payload) == config
+
+    def test_unknown_key_rejected(self):
+        from repro.config import config_from_dict
+
+        payload = dataclasses.asdict(small_config())
+        payload["turbo_mode"] = True
+        with pytest.raises(ConfigError, match="turbo_mode"):
+            config_from_dict(payload)
+
+    def test_unknown_group_field_rejected(self):
+        from repro.config import config_from_dict
+
+        payload = dataclasses.asdict(small_config())
+        payload["auction"]["secret_knob"] = 1
+        with pytest.raises(ConfigError):
+            config_from_dict(payload)
+
+    def test_non_mapping_rejected(self):
+        from repro.config import config_from_dict
+
+        with pytest.raises(ConfigError):
+            config_from_dict(["not", "a", "mapping"])
+
+    def test_invalid_values_surface_as_config_error(self):
+        from repro.config import config_from_dict
+
+        payload = dataclasses.asdict(small_config())
+        payload["days"] = 0
+        with pytest.raises(ConfigError):
+            config_from_dict(payload)
