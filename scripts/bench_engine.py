@@ -26,6 +26,7 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -34,11 +35,16 @@ import numpy as np
 
 from repro import obs
 from repro.config import default_config, small_config
+from repro.records.columnar import read_columns
 from repro.records.impressions import ImpressionBuilder
+from repro.runner.chunkstore import chunk_to_bytes, load_chunk
 from repro.simulator.engine import SimulationEngine
 from repro.simulator.market import MarketIndex
 
-SCHEMA = "repro.bench_engine/v2"
+# v3: phase-1 sub-spans renamed for the whole-horizon path
+# (phase1.draws / phase1.build replace phase1.day) and a `columnar`
+# section measuring the .npc chunk codec's throughput.
+SCHEMA = "repro.bench_engine/v3"
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = _REPO_ROOT / "BENCH_engine.json"
 DEFAULT_HISTORY = _REPO_ROOT / "BENCH_history.jsonl"
@@ -119,6 +125,41 @@ def _run_phases(config) -> dict:
                 round(rows / auctions_s, 1) if auctions_s > 0 else None
             ),
         },
+        "columnar": _bench_columnar(result, config.days),
+    }
+
+
+def _bench_columnar(result, days: int) -> dict:
+    """Throughput of the ``.npc`` chunk codec on this run's rows.
+
+    Measures the three operations the durable-run machinery performs:
+    serializing a chunk, replaying it whole, and the analysis layer's
+    two-column seekable read.
+    """
+    columns = result.impressions.to_columns()
+    rows = len(result.impressions)
+    t0 = time.perf_counter()
+    blob = chunk_to_bytes(columns, "columnar", 0, days)
+    write_s = time.perf_counter() - t0
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench-chunk.npc"
+        path.write_bytes(blob)
+        t0 = time.perf_counter()
+        load_chunk(path, "columnar")
+        read_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        read_columns(path, names=["day", "spend"])
+        subset_s = time.perf_counter() - t0
+
+    def _rate(seconds: float):
+        return round(rows / seconds, 1) if seconds > 0 else None
+
+    return {
+        "rows": rows,
+        "bytes": len(blob),
+        "write_rows_per_sec": _rate(write_s),
+        "read_rows_per_sec": _rate(read_s),
+        "subset_read_s": round(subset_s, 4),
     }
 
 
@@ -211,6 +252,9 @@ def main(argv: list[str] | None = None) -> int:
             "phases": record["phases"],
             "rows": record["impressions"]["rows"],
             "rows_per_sec": record["impressions"]["rows_per_sec"],
+            "columnar_write_rows_per_sec": record["columnar"][
+                "write_rows_per_sec"
+            ],
         }
         with args.history_out.open("a") as handle:
             handle.write(

@@ -40,6 +40,7 @@ rule, because "the artifact disappeared" is itself a regression.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -82,6 +83,11 @@ class RunData:
     metrics: dict | None
     validation: dict | None
     ledger_rows: list[dict] | None
+    #: On-disk impression chunk format, from ``MANIFEST.json``
+    #: (``"npz"`` for pre-columnar manifests, ``None`` without a
+    #: readable manifest).  Informational only: the diff never reads
+    #: chunk bytes, so runs in different formats stay fully comparable.
+    chunk_format: str | None = None
     notes: list[str] = field(default_factory=list)
 
 
@@ -122,6 +128,14 @@ def load_run(run_dir: str | Path) -> RunData:
             data.notes.append(f"telemetry unreadable: {exc}")
     else:
         data.notes.append("no telemetry.jsonl")
+    manifest_path = run_dir / "MANIFEST.json"
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text())
+            if isinstance(manifest, dict):
+                data.chunk_format = str(manifest.get("chunk_format", "npz"))
+        except (OSError, ValueError):
+            data.notes.append("manifest unreadable")
     data.validation = load_validation(run_dir)
     if data.validation is None:
         data.notes.append("no validation artifact")
@@ -425,6 +439,16 @@ def render_diff(diff: RunDiff, top_series: int = 12) -> str:
     notes = [f"a: {n}" for n in diff.a.notes] + [
         f"b: {n}" for n in diff.b.notes
     ]
+    if (
+        diff.a.chunk_format is not None
+        and diff.b.chunk_format is not None
+        and diff.a.chunk_format != diff.b.chunk_format
+    ):
+        notes.append(
+            f"chunk formats differ (a: {diff.a.chunk_format}, "
+            f"b: {diff.b.chunk_format}); the diff never reads chunk "
+            f"bytes, so every axis above is format-independent"
+        )
     if notes:
         lines.append("")
         lines.append("notes:")

@@ -9,6 +9,15 @@ from .codes import (
     vertical_code,
     vertical_name,
 )
+from .columnar import (
+    COLUMNAR_FORMAT,
+    COLUMNAR_SUFFIX,
+    columns_to_bytes,
+    read_column_names,
+    read_columns,
+    read_header,
+    write_columns,
+)
 from .impressions import ImpressionBuilder, ImpressionTable
 from .io import (
     read_impressions_csv,
@@ -26,6 +35,13 @@ __all__ = [
     "country_name",
     "match_code",
     "match_type_from_code",
+    "COLUMNAR_FORMAT",
+    "COLUMNAR_SUFFIX",
+    "columns_to_bytes",
+    "read_column_names",
+    "read_columns",
+    "read_header",
+    "write_columns",
     "ImpressionBuilder",
     "ImpressionTable",
     "CustomerRecord",

@@ -14,6 +14,12 @@ damage back to vouched bytes.  CLI::
     python -m repro.runner doctor RUNS/x --repair
 """
 
+from .chunkstore import (
+    CHUNK_FORMATS,
+    DEFAULT_CHUNK_FORMAT,
+    chunk_to_bytes,
+    load_chunk,
+)
 from .doctor import RepairReport, VerifyReport, repair_run, verify_run
 from .faults import (
     IO_BITROT,
@@ -29,6 +35,10 @@ from .runner import CheckpointRunner
 
 __all__ = [
     "CheckpointRunner",
+    "CHUNK_FORMATS",
+    "DEFAULT_CHUNK_FORMAT",
+    "chunk_to_bytes",
+    "load_chunk",
     "RunManifest",
     "ChunkEntry",
     "config_sha256",

@@ -74,6 +74,17 @@ def _main_run(argv: list[str]) -> int:
         default=None,
         help="also write the validation report to this path",
     )
+    from .chunkstore import CHUNK_FORMATS, DEFAULT_CHUNK_FORMAT
+
+    parser.add_argument(
+        "--chunk-format",
+        choices=CHUNK_FORMATS,
+        default=DEFAULT_CHUNK_FORMAT,
+        help=(
+            "on-disk impression chunk format for fresh runs (resume "
+            "always keeps the directory's recorded format)"
+        ),
+    )
     args = parser.parse_args(argv)
     obs.setup_logging()
 
@@ -90,7 +101,10 @@ def _main_run(argv: list[str]) -> int:
     started = obs.tracer().now()
     try:
         runner = CheckpointRunner(
-            config, args.checkpoint_dir, checkpoint_every=args.checkpoint_every
+            config,
+            args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            chunk_format=args.chunk_format,
         )
         result = runner.run(resume=args.resume)
     except ReproError as exc:

@@ -27,6 +27,7 @@ from .._version import __version__
 from ..config import SimulationConfig, config_from_dict
 from ..errors import ConfigError, SimulationError
 from ..records.atomic import atomic_write_text
+from .chunkstore import CHUNK_FORMATS, DEFAULT_CHUNK_FORMAT, LEGACY_CHUNK_FORMAT
 
 __all__ = [
     "MANIFEST_NAME",
@@ -105,6 +106,10 @@ class RunManifest:
     #: snapshot became durable); the resume point when no chunk exists.
     phase3_start_rng: dict | None = None
     chunks: list[ChunkEntry] = field(default_factory=list)
+    #: Serialization format of every file under ``chunks/`` (see
+    #: :mod:`repro.runner.chunkstore`).  Manifests written before this
+    #: field existed load as ``"npz"``, the only format that existed.
+    chunk_format: str = DEFAULT_CHUNK_FORMAT
     #: The full configuration (``dataclasses.asdict`` form), embedded
     #: so ``verify``/``doctor`` can re-simulate damaged artifacts
     #: without the caller re-supplying CLI flags.  ``None`` only for
@@ -113,7 +118,10 @@ class RunManifest:
 
     @classmethod
     def fresh(
-        cls, config: SimulationConfig, checkpoint_every: int
+        cls,
+        config: SimulationConfig,
+        checkpoint_every: int,
+        chunk_format: str = DEFAULT_CHUNK_FORMAT,
     ) -> "RunManifest":
         """Manifest for a run that has not generated anything yet."""
         return cls(
@@ -122,6 +130,7 @@ class RunManifest:
             days=config.days,
             checkpoint_every=checkpoint_every,
             config=dataclasses.asdict(config),
+            chunk_format=chunk_format,
         )
 
     def simulation_config(self) -> SimulationConfig | None:
@@ -202,12 +211,20 @@ class RunManifest:
                     ChunkEntry.from_dict(chunk) for chunk in payload["chunks"]
                 ],
                 config=payload.get("config"),
+                chunk_format=str(
+                    payload.get("chunk_format", LEGACY_CHUNK_FORMAT)
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SimulationError(f"malformed manifest {path}: {exc}") from None
         if manifest.phase not in PHASES:
             raise SimulationError(
                 f"manifest {path} has unknown phase {manifest.phase!r}"
+            )
+        if manifest.chunk_format not in CHUNK_FORMATS:
+            raise SimulationError(
+                f"manifest {path} has unknown chunk format "
+                f"{manifest.chunk_format!r}"
             )
         previous_end = 0
         for chunk in manifest.chunks:

@@ -7,8 +7,14 @@ Run directory layout::
       phase1.pkl                population summaries + detection pipeline state
       market.pkl                the Phase-2 MarketIndex snapshot
       chunks/
-        chunk-00000-00007.npz   impression rows for days [0, 7), append-only
-        chunk-00007-00014.npz   ...
+        chunk-00000-00007.npc   impression rows for days [0, 7), append-only
+        chunk-00007-00014.npc   ...
+
+Chunks are columnar bundles (:mod:`repro.records.columnar`) by default;
+the manifest's ``chunk_format`` field records which of the three
+:mod:`repro.runner.chunkstore` formats (``columnar``/``npz``/``jsonl``)
+a directory uses, and resume always reads/writes the recorded format
+regardless of what a fresh run would pick.
 
 Crash-consistency protocol: every artifact lands via tmp-file + fsync +
 ``os.replace`` (:mod:`repro.records.atomic`), and ``MANIFEST.json`` is
@@ -40,12 +46,9 @@ final impression table, detection records, and validation report.
 
 from __future__ import annotations
 
-import io
 import pickle
 import warnings
 from pathlib import Path
-
-import numpy as np
 
 from .. import obs
 from ..config import SimulationConfig
@@ -58,10 +61,16 @@ from ..records.atomic import (
     sha256_bytes,
     sha256_file,
 )
-from ..records.impressions import ImpressionBuilder, ImpressionTable
+from ..records.impressions import ImpressionBuilder
 from ..simulator.engine import SimulationEngine
 from ..simulator.market import MarketIndex
 from ..simulator.results import SimulationResult
+from .chunkstore import (
+    DEFAULT_CHUNK_FORMAT,
+    chunk_file_name,
+    chunk_to_bytes,
+    load_chunk,
+)
 from .faults import FaultPlan
 from .manifest import MANIFEST_NAME, ChunkEntry, RunManifest, config_sha256
 
@@ -76,8 +85,6 @@ __all__ = [
 PHASE1_NAME = "phase1.pkl"
 MARKET_NAME = "market.pkl"
 CHUNK_DIR = "chunks"
-
-_CHUNK_FIELDS = set(ImpressionTable.field_names())
 
 # Runner telemetry handles (repro.obs).
 _CHUNKS_WRITTEN = obs.counter("runner.chunks_written")
@@ -99,12 +106,17 @@ class CheckpointRunner:
         faults: FaultPlan | None = None,
         telemetry: bool = True,
         ledger: bool = True,
+        chunk_format: str = DEFAULT_CHUNK_FORMAT,
     ) -> None:
         if checkpoint_every < 1:
             raise ConfigError("checkpoint_every must be >= 1")
+        # Validate the format up front (fail fast on typos); a resumed
+        # run later overrides this with whatever its manifest records.
+        chunk_file_name(0, 0, chunk_format)
         self.config = config
         self.run_dir = Path(run_dir)
         self.checkpoint_every = checkpoint_every
+        self.chunk_format = chunk_format
         self.telemetry = telemetry
         self.ledger = ledger
         self.manifest_path = self.run_dir / MANIFEST_NAME
@@ -250,14 +262,22 @@ class CheckpointRunner:
                 manifest = RunManifest.load(self.manifest_path)
                 self._check_compatible(manifest)
                 manifest.checkpoint_every = self.checkpoint_every
+                # The directory's existing chunks dictate the format;
+                # a fresh-run preference never rewrites history.
+                self.chunk_format = manifest.chunk_format
                 obs.event(
                     "runner.resume",
                     phase=manifest.phase,
                     next_day=manifest.next_day,
                     chunks=len(manifest.chunks),
+                    chunk_format=manifest.chunk_format,
                 )
             else:
-                manifest = RunManifest.fresh(self.config, self.checkpoint_every)
+                manifest = RunManifest.fresh(
+                    self.config,
+                    self.checkpoint_every,
+                    chunk_format=self.chunk_format,
+                )
                 manifest.save(self.manifest_path)
                 obs.event(
                     "runner.start",
@@ -392,7 +412,9 @@ class CheckpointRunner:
     # ------------------------------------------------------------------
 
     def _chunk_path(self, day_start: int, day_end: int) -> Path:
-        return self.chunk_dir / f"chunk-{day_start:05d}-{day_end:05d}.npz"
+        return self.chunk_dir / chunk_file_name(
+            day_start, day_end, self.chunk_format
+        )
 
     def _validate_chunks(self, manifest: RunManifest) -> list[dict]:
         """Verify and load every durable chunk, pruning a corrupt tail.
@@ -407,13 +429,11 @@ class CheckpointRunner:
             path = self.run_dir / entry.file
             intact = path.exists() and sha256_file(path) == entry.sha256
             if intact:
-                with np.load(path) as archive:
-                    if set(archive.files) != _CHUNK_FIELDS:
-                        intact = False
-                    else:
-                        loaded.append(
-                            {name: archive[name] for name in archive.files}
-                        )
+                chunk = load_chunk(path, manifest.chunk_format)
+                if chunk is None:
+                    intact = False
+                else:
+                    loaded.append(chunk)
             if intact:
                 _CHUNKS_VERIFIED.inc()
                 continue
@@ -478,9 +498,7 @@ class CheckpointRunner:
         day_end: int,
     ) -> None:
         path = self._chunk_path(day_start, day_end)
-        buffer = io.BytesIO()
-        np.savez_compressed(buffer, **chunk)
-        data = buffer.getvalue()
+        data = chunk_to_bytes(chunk, self.chunk_format, day_start, day_end)
         atomic_write_bytes(path, data)
         manifest.chunks.append(
             ChunkEntry(

@@ -120,6 +120,10 @@ class SimulationEngine:
         #: batched path needs no memo: it reads the arrays precomputed
         #: by :meth:`repro.simulator.querygen.MatchTable.eligible_arrays`.
         self._eligible_memo: dict[tuple[int, int, bool, bool], list] = {}
+        #: Columnar whole-horizon record of the Phase-1 draws pass;
+        #: populated by :meth:`generate_population` (None until then,
+        #: and always None on the oracle paths).
+        self.population_plan = None
 
     # ------------------------------------------------------------------
     # RNG stream state (checkpoint/resume support)
@@ -262,14 +266,22 @@ class SimulationEngine:
             quality=profile.quality,
         )
 
-    def _generate_account(
+    def _plan_account(
         self,
         profile: AdvertiserProfile,
         created_time: float,
-        adv_row: int,
         materializer=materialize_account_batch,
-    ) -> tuple[MaterializedAccount, AccountSummary]:
-        """Build one account end-to-end (materialize + detect + trim)."""
+    ) -> tuple[MaterializedAccount, float, bool]:
+        """Every RNG draw for one account; entity finalization deferred.
+
+        Performs the draw-bearing half of account generation -- screen,
+        materialize, evaluate, commit, dormancy -- in the canonical
+        per-account order shared by the day-loop and whole-horizon
+        paths, and returns ``(account, activity_end, materialized)``.
+        ``materialized`` accounts still need :meth:`_finish_account`
+        (trim + summary), which draws nothing; non-materialized
+        accounts are already final (an untouched empty account).
+        """
         total_days = float(self.config.days)
         rng_d = self._rng_detection
         rng_p = self._rng_population
@@ -287,10 +299,7 @@ class SimulationEngine:
                 # Screened, but the freeze lands after the study ends:
                 # within the study this account is simply a pending
                 # registration that never posts.
-                summary = self._summarize(
-                    advertiser, profile, None, adv_row, total_days
-                )
-                return empty, summary
+                return empty, total_days, False
             if screen_time is not None:
                 advertiser.shutdown(
                     screen_time, ShutdownReason.REGISTRATION_SCREEN, True
@@ -301,17 +310,11 @@ class SimulationEngine:
                         screen_time, ShutdownReason.REGISTRATION_SCREEN, True
                     ),
                 )
-                summary = self._summarize(
-                    advertiser, profile, None, adv_row, min(screen_time, total_days)
-                )
-                return empty, summary
+                return empty, min(screen_time, total_days), False
 
         first_ad_time = created_time + profile.first_ad_delay
         if first_ad_time >= total_days:
-            summary = self._summarize(
-                advertiser, profile, None, adv_row, total_days
-            )
-            return empty, summary
+            return empty, total_days, False
 
         account = materializer(
             advertiser,
@@ -343,11 +346,87 @@ class SimulationEngine:
             if not profile.is_fraud:
                 dormancy = float(rng_p.exponential(LEGIT_DORMANCY_MEAN_DAYS))
                 activity_end = min(total_days, created_time + dormancy)
+        return account, activity_end, True
 
-        account.trim(activity_end)
-        account.activity_end = activity_end
-        summary = self._summarize(advertiser, profile, account, adv_row, activity_end)
+    def _finish_account(
+        self,
+        profile: AdvertiserProfile,
+        account: MaterializedAccount,
+        adv_row: int,
+        activity_end: float,
+        materialized: bool,
+    ) -> AccountSummary:
+        """The draw-free tail of account generation: trim + summarize.
+
+        Never touches an RNG stream, which is what lets the horizon
+        path run it as a separate pass after all draws are done.
+        """
+        if materialized:
+            account.trim(activity_end)
+            account.activity_end = activity_end
+            return self._summarize(
+                account.advertiser, profile, account, adv_row, activity_end
+            )
+        return self._summarize(
+            account.advertiser, profile, None, adv_row, activity_end
+        )
+
+    def _generate_account(
+        self,
+        profile: AdvertiserProfile,
+        created_time: float,
+        adv_row: int,
+        materializer=materialize_account_batch,
+    ) -> tuple[MaterializedAccount, AccountSummary]:
+        """Build one account end-to-end (materialize + detect + trim)."""
+        account, activity_end, materialized = self._plan_account(
+            profile, created_time, materializer
+        )
+        summary = self._finish_account(
+            profile, account, adv_row, activity_end, materialized
+        )
         return account, summary
+
+    def _draw_day_registrations(self, day, rng, schedule, ledger):
+        """Yield one day's ``(profile, created_time)`` pairs lazily.
+
+        A generator on purpose: the caller interleaves its own draws
+        (screening, materialization, detection) between registrations,
+        and the canonical stream order puts each account's profile
+        draws immediately before *that account's* downstream draws --
+        never batched ahead.  Both the day-loop and whole-horizon
+        paths consume this, so they share one draw order by
+        construction.
+        """
+        config = self.config
+        n_fraud, n_nonfraud = sample_daily_counts(
+            config.population, schedule, day, rng
+        )
+        if ledger is not None:
+            ledger.record_registrations(day, n_nonfraud, n_fraud)
+        for is_fraud in [True] * n_fraud + [False] * n_nonfraud:
+            created_time = day + float(rng.random())
+            if is_fraud:
+                prolific = (
+                    rng.random() < config.population.prolific_fraud_fraction
+                )
+                banned = tuple(
+                    change.banned_vertical
+                    for change in self.pipeline.policy.changes
+                    if created_time >= change.day + POLICY_LEARNING_LAG_DAYS
+                )
+                profile = sample_fraud_profile(
+                    config, rng, prolific, banned_verticals=banned
+                )
+            else:
+                profile = sample_legitimate_profile(config, rng)
+            yield profile, created_time
+
+    def _record_policy_changes(self, ledger) -> None:
+        if ledger is not None:
+            for change in self.pipeline.policy.changes:
+                if 0 <= change.day < self.config.days:
+                    ledger.record_policy_change(change.day)
 
     def _generate_population(
         self,
@@ -371,42 +450,16 @@ class SimulationEngine:
         gc_was_enabled = gc.isenabled()
         gc.disable()
         ledger = obs.dayledger()
-        if ledger is not None:
-            for change in self.pipeline.policy.changes:
-                if 0 <= change.day < config.days:
-                    ledger.record_policy_change(change.day)
+        self._record_policy_changes(ledger)
         try:
             with obs.span(
                 "phase1.population", days=config.days, materializer=mode
             ) as phase_span:
                 for day in range(config.days):
                     with obs.span("phase1.day", day=day):
-                        n_fraud, n_nonfraud = sample_daily_counts(
-                            config.population, schedule, day, rng
-                        )
-                        if ledger is not None:
-                            ledger.record_registrations(
-                                day, n_nonfraud, n_fraud
-                            )
-                        flags = [True] * n_fraud + [False] * n_nonfraud
-                        for is_fraud in flags:
-                            created_time = day + float(rng.random())
-                            if is_fraud:
-                                prolific = (
-                                    rng.random()
-                                    < config.population.prolific_fraud_fraction
-                                )
-                                banned = tuple(
-                                    change.banned_vertical
-                                    for change in self.pipeline.policy.changes
-                                    if created_time
-                                    >= change.day + POLICY_LEARNING_LAG_DAYS
-                                )
-                                profile = sample_fraud_profile(
-                                    config, rng, prolific, banned_verticals=banned
-                                )
-                            else:
-                                profile = sample_legitimate_profile(config, rng)
+                        for profile, created_time in self._draw_day_registrations(
+                            day, rng, schedule, ledger
+                        ):
                             account, summary = self._generate_account(
                                 profile,
                                 created_time,
@@ -432,23 +485,126 @@ class SimulationEngine:
                 gc.enable()
         return accounts, summaries
 
+    def _generate_population_horizon(
+        self,
+        on_day_complete=None,
+    ) -> tuple[list[MaterializedAccount], list[AccountSummary]]:
+        """Phase 1 as two whole-horizon passes: draws, then build.
+
+        The **draws** pass sweeps the horizon once, performing every
+        RNG draw in the canonical order (identical to the day loop's)
+        and recording per-account outcomes into a columnar
+        :class:`~repro.behavior.horizon.PopulationPlan` (exposed as
+        :attr:`population_plan`).  The **build** pass -- draw-free by
+        construction -- trims each materialized account to its recorded
+        activity end and assembles the summaries.  Day-boundary
+        side-effects (ledger rows, heartbeats, ``on_day_complete``)
+        fire from the draws pass, so the checkpoint runner's fault
+        sites and progress reporting are unchanged.
+        """
+        from ..behavior.horizon import PlanRecorder
+
+        config = self.config
+        rng = self._rng_population
+        schedule = FraudShareSchedule(config.population, config.days, rng)
+        accounts: list[MaterializedAccount] = []
+        profiles: list[AdvertiserProfile] = []
+        recorder = PlanRecorder(config.days)
+        heartbeat = obs.heartbeat_every()
+        tracer = obs.tracer()
+        # Same GC rationale as the day loop: pause cyclic collection
+        # for the duration of entity construction.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        ledger = obs.dayledger()
+        self._record_policy_changes(ledger)
+        try:
+            with obs.span(
+                "phase1.population", days=config.days, materializer="horizon"
+            ) as phase_span:
+                with obs.span("phase1.draws", days=config.days):
+                    for day in range(config.days):
+                        for profile, created_time in self._draw_day_registrations(
+                            day, rng, schedule, ledger
+                        ):
+                            account, activity_end, materialized = (
+                                self._plan_account(profile, created_time)
+                            )
+                            accounts.append(account)
+                            profiles.append(profile)
+                            recorder.record(
+                                day,
+                                created_time,
+                                activity_end,
+                                profile.is_fraud,
+                                materialized,
+                                account.advertiser.shutdown_time,
+                            )
+                        if heartbeat and (day + 1) % heartbeat == 0:
+                            elapsed = tracer.now() - phase_span.start
+                            if elapsed > 0:
+                                _ACCOUNTS_PER_S.set(len(accounts) / elapsed)
+                            obs.event(
+                                "heartbeat",
+                                phase="phase1",
+                                day=day,
+                                accounts=len(accounts),
+                            )
+                        if on_day_complete is not None:
+                            on_day_complete(day)
+                plan = recorder.build()
+                self.population_plan = plan
+                with obs.span("phase1.build", accounts=len(accounts)):
+                    ends = plan.activity_end
+                    built = plan.materialized
+                    summaries = [
+                        self._finish_account(
+                            profiles[row],
+                            accounts[row],
+                            row,
+                            float(ends[row]),
+                            bool(built[row]),
+                        )
+                        for row in range(len(accounts))
+                    ]
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return accounts, summaries
+
     def generate_population(
         self,
         on_day_complete=None,
     ) -> tuple[list[MaterializedAccount], list[AccountSummary]]:
         """Phase 1: create every account with its detection outcome.
 
-        Uses the batched materializer
-        (:func:`~repro.behavior.batch.materialize_account_batch`); the
-        output -- entities, summaries and post-generation RNG stream
-        states -- is bit-identical to
-        :meth:`generate_population_scalar`, which is kept as the
-        differential oracle.
+        Runs the whole-horizon plan/build path
+        (:meth:`_generate_population_horizon`) with the batched
+        materializer; the output -- entities, summaries and
+        post-generation RNG stream states -- is bit-identical to both
+        retained oracles: :meth:`generate_population_dayloop` (the
+        PR-3 per-day batched loop) and
+        :meth:`generate_population_scalar` (the original scalar
+        factory).  After it returns, :attr:`population_plan` holds the
+        whole-horizon registration/lifetime/churn arrays.
 
         ``on_day_complete(day)``, if given, is invoked after each day's
         registrations are fully generated -- the checkpoint runner's
         instrumentation point for progress reporting and fault
         injection.
+        """
+        return self._generate_population_horizon(on_day_complete)
+
+    def generate_population_dayloop(
+        self,
+        on_day_complete=None,
+    ) -> tuple[list[MaterializedAccount], list[AccountSummary]]:
+        """The per-day batched Phase 1 (PR 3), kept as an oracle.
+
+        Interleaves trim/summarize with the draws inside a per-day
+        loop.  The whole-horizon path replays exactly this draw order,
+        so both produce bit-identical populations; the differential
+        tests pin that.
         """
         return self._generate_population(
             materialize_account_batch, on_day_complete
@@ -556,6 +712,29 @@ class SimulationEngine:
                 if on_day_complete is not None:
                     on_day_complete(day)
 
+    def _emit_empty_auction_day(self) -> None:
+        """Gather + kernel on zero candidates, for span parity.
+
+        Used by days that cannot reach the real gather (no live
+        offers).  ``run_auction_batch`` is deterministic and draw-free,
+        so this moves no RNG stream; the ledger kernel feed adds zeros
+        to an already-zeroed day row, leaving its bytes unchanged.
+        """
+        empty_ids = np.zeros(0, dtype=np.int64)
+        empty_vals = np.zeros(0, dtype=np.float64)
+        with obs.span("auction.gather", keys=0):
+            pass
+        run_auction_batch(
+            empty_ids,
+            empty_ids,
+            empty_ids,
+            empty_vals,
+            empty_vals,
+            np.zeros(0, dtype=bool),
+            self.config.auction,
+            0,
+        )
+
     def _run_auction_day(
         self,
         day: int,
@@ -578,6 +757,13 @@ class SimulationEngine:
                 day, int(np.unique(market.adv_row[buckets.rows]).size)
             )
         if len(buckets) == 0:
+            # Span parity: a dead-market day (e.g. day 0, when no offer
+            # is live yet at t=0.5) must still emit the auction.gather
+            # and auction.kernel spans, or per-day span counts go off by
+            # one across the horizon.  Query sampling stays skipped --
+            # the scalar oracle draws nothing on such days either -- and
+            # the kernel is draw-free, so no RNG stream moves.
+            self._emit_empty_auction_day()
             return
         queries = sampler.sample_day(self._rng_queries)
         n_queries = len(queries)
@@ -601,19 +787,21 @@ class SimulationEngine:
                 counts[seg] = len(kws)
                 kw_chunks.append(kws)
                 mcode_chunks.append(mcodes)
-        if not kw_chunks:
-            return
         # One flat (cell, keyword, match) key array for the whole
-        # day's query stream, resolved in a single bucket gather.
-        kw_all = np.concatenate(kw_chunks)
-        mcode_all = np.concatenate(mcode_chunks)
+        # day's query stream, resolved in a single bucket gather.  An
+        # empty key set (no query matched any keyword) flows through
+        # the same gather + kernel calls so the spans emit every day.
+        if kw_chunks:
+            kw_all = np.concatenate(kw_chunks)
+            mcode_all = np.concatenate(mcode_chunks)
+        else:
+            kw_all = np.zeros(0, dtype=np.int64)
+            mcode_all = np.zeros(0, dtype=np.int64)
         query_of_key = np.repeat(np.arange(n_queries), counts)
         keys = bucket_keys(np.repeat(cell_ids, counts), kw_all, mcode_all)
         with obs.span("auction.gather", keys=len(keys)):
             rows, key_index = buckets.gather(keys)
         _CANDIDATES_GATHERED.inc(int(rows.size))
-        if rows.size == 0:
-            return
         segments = query_of_key[key_index]
         mcode = mcode_all[key_index]
         result = run_auction_batch(

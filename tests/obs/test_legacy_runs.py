@@ -1,0 +1,131 @@
+"""Pre-columnar run directories through report / registry / diff.
+
+Run directories written before the columnar chunk store have npz
+chunks, a ``MANIFEST.json`` without the ``chunk_format`` key, and a
+telemetry span tree using the retired per-day Phase-1 layout
+(``phase1.day``).  The observability tooling must keep rendering them
+-- with an explicit notice, never a crash -- and must stay comparable
+against modern run directories.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.diff import diff_runs, evaluate_fail_on, load_run, render_diff
+from repro.obs.registry import index_runs, summarize_run
+from repro.obs.report import aggregate_spans, load_events, render_report
+
+from .test_diff import make_run
+
+
+def _span(sid, parent, name, dur=0.1):
+    return {"kind": "span", "id": sid, "parent": parent, "name": name,
+            "dur": dur, "attrs": {}}
+
+
+def _write_telemetry(run_dir: Path, events: list[dict]) -> None:
+    (run_dir / "telemetry.jsonl").write_text(
+        "\n".join(json.dumps(e, separators=(",", ":")) for e in events) + "\n"
+    )
+
+
+def make_legacy_run(root: Path, name: str) -> Path:
+    """A pre-columnar run dir: old span tree, no manifest chunk_format."""
+    run_dir = make_run(root, name)
+    manifest_path = run_dir / "MANIFEST.json"
+    payload = json.loads(manifest_path.read_text())
+    assert "chunk_format" not in payload  # make_run predates the key too
+    payload["chunks"] = [
+        {"file": "chunks/chunk-00000-00004.npz", "day_start": 0,
+         "day_end": 4, "rows": 10, "sha256": "0" * 64, "rng_after": {}}
+    ]
+    manifest_path.write_text(json.dumps(payload))
+    _write_telemetry(run_dir, [
+        _span(1, None, "runner.run", dur=3.0),
+        _span(2, 1, "phase1.population", dur=1.0),
+        *[_span(10 + d, 2, "phase1.day", dur=0.1) for d in range(4)],
+        _span(30, 1, "phase3.auctions", dur=2.0),
+    ])
+    return run_dir
+
+
+def make_modern_run(root: Path, name: str) -> Path:
+    """A columnar-era run dir: draws/build spans, chunk_format pinned."""
+    run_dir = make_run(root, name)
+    manifest_path = run_dir / "MANIFEST.json"
+    payload = json.loads(manifest_path.read_text())
+    payload["chunk_format"] = "columnar"
+    payload["chunks"] = [
+        {"file": "chunks/chunk-00000-00004.npc", "day_start": 0,
+         "day_end": 4, "rows": 10, "sha256": "0" * 64, "rng_after": {}}
+    ]
+    manifest_path.write_text(json.dumps(payload))
+    _write_telemetry(run_dir, [
+        _span(1, None, "runner.run", dur=3.0),
+        _span(2, 1, "phase1.population", dur=1.0),
+        _span(3, 2, "phase1.draws", dur=0.8),
+        _span(4, 2, "phase1.build", dur=0.2),
+        _span(30, 1, "phase3.auctions", dur=2.0),
+    ])
+    return run_dir
+
+
+class TestReport:
+    def test_legacy_span_tree_renders_with_notice(self, tmp_path):
+        run_dir = make_legacy_run(tmp_path, "old")
+        events = load_events(run_dir / "telemetry.jsonl")
+        report = render_report(events, source=run_dir)
+        assert "phase1.day" in report
+        assert "legacy per-day phase1 span layout" in report
+        # The old tree still aggregates: four day spans under phase1.
+        spans = aggregate_spans(events)
+        key = ("runner.run", "phase1.population", "phase1.day")
+        assert spans[key]["count"] == 4
+
+    def test_modern_span_tree_has_no_notice(self, tmp_path):
+        run_dir = make_modern_run(tmp_path, "new")
+        report = render_report(load_events(run_dir / "telemetry.jsonl"))
+        assert "phase1.draws" in report
+        assert "legacy" not in report
+
+
+class TestRegistry:
+    def test_legacy_manifest_summarizes_as_npz(self, tmp_path):
+        summary = summarize_run(make_legacy_run(tmp_path, "old"))
+        assert summary["chunk_format"] == "npz"
+        assert summary["chunks"] == 1
+        assert summary["rows"] == 10
+        assert summary["phases_s"]["phase1.population"] > 0
+
+    def test_modern_manifest_keeps_its_format(self, tmp_path):
+        summary = summarize_run(make_modern_run(tmp_path, "new"))
+        assert summary["chunk_format"] == "columnar"
+
+    def test_mixed_index_lists_both(self, tmp_path):
+        make_legacy_run(tmp_path, "old")
+        make_modern_run(tmp_path, "new")
+        index = index_runs(tmp_path)
+        formats = {r["dir"]: r["chunk_format"] for r in index["runs"]}
+        assert formats == {"old": "npz", "new": "columnar"}
+
+
+class TestDiff:
+    def test_legacy_vs_modern_diffs_cleanly(self, tmp_path):
+        a = load_run(make_legacy_run(tmp_path, "old"))
+        b = load_run(make_modern_run(tmp_path, "new"))
+        assert a.chunk_format == "npz"
+        assert b.chunk_format == "columnar"
+        diff = diff_runs(a, b)
+        # Same synthesized ledger -> same-seed semantics hold across
+        # formats and span layouts.
+        assert evaluate_fail_on(diff, {"drift": 0.0}) == []
+        text = render_diff(diff)
+        assert "chunk formats differ (a: npz, b: columnar)" in text
+        assert "format-independent" in text
+
+    def test_same_format_runs_have_no_format_note(self, tmp_path):
+        a = load_run(make_modern_run(tmp_path, "x"))
+        b = load_run(make_modern_run(tmp_path, "y"))
+        assert "chunk formats differ" not in render_diff(diff_runs(a, b))

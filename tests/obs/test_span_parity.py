@@ -1,0 +1,55 @@
+"""Per-day span parity in Phase 3.
+
+Regression for an off-by-one in the span tree: days whose auction body
+early-outed before the bucket gather (day 0 has no live offers at
+t=0.5, so every run hit this) emitted a ``phase3.day`` span but no
+``auction.gather``/``auction.kernel`` spans -- 727 kernel spans against
+728 day spans at full scale.  Every day must now emit all three, and
+the fix must not move any RNG stream (dead-market days still skip
+query sampling, like the scalar oracle).
+"""
+
+from collections import Counter
+
+from repro import obs
+from repro.config import small_config
+from repro.records.impressions import ImpressionBuilder
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.market import MarketIndex
+
+
+def _span_counts(days: int) -> Counter:
+    engine = SimulationEngine(small_config(seed=5, days=days))
+    accounts, _ = engine.generate_population()
+    market = MarketIndex(accounts)
+    builder = ImpressionBuilder()
+    with obs.capture() as sink:
+        engine.run_auctions(market, builder)
+    return Counter(
+        e["name"] for e in sink.events if e["kind"] == "span"
+    )
+
+
+def test_every_day_emits_gather_and_kernel_spans():
+    days = 12
+    counts = _span_counts(days)
+    assert counts["phase3.day"] == days
+    assert counts["auction.gather"] == days
+    assert counts["auction.kernel"] == days
+
+
+def test_span_parity_does_not_perturb_rng_streams():
+    # The scalar auction loop is the draw-order oracle; emitting spans
+    # on early-out days must leave every stream state bit-identical.
+    def _final_state(scalar: bool):
+        engine = SimulationEngine(small_config(seed=5, days=12))
+        accounts, _ = engine.generate_population()
+        market = MarketIndex(accounts)
+        builder = ImpressionBuilder()
+        if scalar:
+            engine.run_auctions_scalar(market, builder)
+        else:
+            engine.run_auctions(market, builder)
+        return engine.rng_state()
+
+    assert _final_state(scalar=False) == _final_state(scalar=True)

@@ -85,6 +85,61 @@ class TestAddBatch:
         table = builder.build()
         assert table.day.tolist() == [1.0, 2.0, 3.0, 4.0]
 
+    def test_interleaved_mixed_ingestion_rows_and_dtypes(self):
+        # The docstring promises interleaved scalar/batch ingestion
+        # preserves row order AND storage dtypes.  Scalar rows arrive as
+        # Python bool/int/float and must narrow through _flush_scalar to
+        # the declared storage dtypes; batch rows arrive as (possibly
+        # wider) numpy arrays and must be cast on ingestion.
+        builder = ImpressionBuilder()
+        builder.add(**row(day=0.0, position=30000, mainline=True))
+        builder.add(**row(day=1.0, match_type=2, fraud_labeled=False))
+        builder.add_batch(
+            **batch(
+                2,
+                day=np.array([2.0, 3.0]),
+                # Wider than storage: i8 position, plain int mainline.
+                position=np.array([5, 6], dtype=np.int64),
+                mainline=np.array([0, 1], dtype=np.int64),
+            )
+        )
+        builder.add(**row(day=4.0, n_shown=7, n_fraud_shown=3))
+        builder.add_batch(**batch(1, day=np.array([5.0])))
+        builder.add(**row(day=6.0))
+        table = builder.build()
+        assert table.day.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        dtypes = ImpressionTable.field_dtypes()
+        for name in ImpressionTable.field_names():
+            assert getattr(table, name).dtype == np.dtype(dtypes[name]), name
+        # Values survive the narrowing exactly.
+        assert table.position.tolist() == [30000, 1, 5, 6, 1, 1, 1]
+        assert table.mainline.tolist() == [
+            True, True, False, True, True, True, True,
+        ]
+        assert table.match_type[1] == 2
+        assert table.n_shown[4] == 7
+
+    def test_drain_round_trips_interleaved_rows(self):
+        # The checkpoint runner drains mid-stream; feeding the drained
+        # arrays back through add_batch must reconstruct the row stream.
+        source = ImpressionBuilder()
+        source.add(**row(day=0.0, clicks=1.0))
+        source.add_batch(**batch(2, day=np.array([1.0, 2.0])))
+        first = source.drain()
+        assert len(source) == 0
+        source.add(**row(day=3.0, mainline=False))
+        second = source.drain()
+
+        rebuilt = ImpressionBuilder()
+        rebuilt.add_batch(**first)
+        rebuilt.add_batch(**second)
+        table = rebuilt.build()
+        assert table.day.tolist() == [0.0, 1.0, 2.0, 3.0]
+        assert table.mainline.tolist() == [True, True, True, False]
+        dtypes = ImpressionTable.field_dtypes()
+        for name in ImpressionTable.field_names():
+            assert getattr(table, name).dtype == np.dtype(dtypes[name]), name
+
     def test_empty_batch_is_noop(self):
         builder = ImpressionBuilder()
         builder.add_batch(**batch(0))
@@ -135,6 +190,27 @@ class TestTable:
         table = build_table([row(clicks=5.0, spend=2.5), row(clicks=3.0, spend=1.0)])
         assert table.total_clicks() == 8.0
         assert table.total_spend() == 3.5
+
+    def test_columns_round_trip(self, tmp_path):
+        from repro.records.columnar import read_columns, write_columns
+
+        table = build_table([row(day=1.0), row(day=2.0, fraud_labeled=True)])
+        columns = table.to_columns()
+        assert list(columns) == list(ImpressionTable.field_names())
+        path = tmp_path / "impressions.npc"
+        write_columns(path, columns)
+        back = ImpressionTable.from_columns(read_columns(path))
+        for name in ImpressionTable.field_names():
+            ours, theirs = getattr(table, name), getattr(back, name)
+            assert ours.dtype == theirs.dtype, name
+            assert np.array_equal(ours, theirs), name
+
+    def test_from_columns_rejects_wrong_fields(self):
+        table = build_table([row()])
+        columns = table.to_columns()
+        del columns["spend"]
+        with pytest.raises(RecordError):
+            ImpressionTable.from_columns(columns)
 
     def test_has_fraud_competition_excludes_self(self):
         # A fraud advertiser alone on the page: n_fraud_shown == 1 is itself.

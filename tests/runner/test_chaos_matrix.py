@@ -72,7 +72,7 @@ SCENARIOS = [
     ),
     Scenario(
         "enospc-on-chunk",
-        io_faults=(WriteFault("chunk-*.npz", action=IO_ERROR, times=FOREVER),),
+        io_faults=(WriteFault("chunk-*.npc", action=IO_ERROR, times=FOREVER),),
     ),
     Scenario(
         "enospc-mid-checkpoint-manifest",
@@ -87,14 +87,14 @@ SCENARIOS = [
     ),
     Scenario(
         "silent-torn-chunk",
-        io_faults=(WriteFault("chunk-*.npz", action=IO_TORN, detail=32),),
+        io_faults=(WriteFault("chunk-*.npc", action=IO_TORN, detail=32),),
         expect="complete",
         recover="doctor",
         allowed_damage=frozenset({"checksum"}),
     ),
     Scenario(
         "silent-bitrot-mid-chunk",
-        io_faults=(WriteFault("chunk-*.npz", action=IO_BITROT, nth=2),),
+        io_faults=(WriteFault("chunk-*.npc", action=IO_BITROT, nth=2),),
         expect="complete",
         recover="doctor",
         allowed_damage=frozenset({"checksum"}),

@@ -36,7 +36,7 @@ class TestFreshRun:
         assert runner.market_path.exists()
         chunks = sorted(runner.chunk_dir.iterdir())
         assert len(chunks) == math.ceil(RUNNER_DAYS / CHECKPOINT_EVERY)
-        assert all(p.suffix == ".npz" for p in chunks)
+        assert all(p.suffix == ".npc" for p in chunks)
 
     def test_manifest_is_complete_and_checksummed(self, completed_run):
         runner, _ = completed_run

@@ -129,7 +129,7 @@ class TestCriticalWritesStayFatal:
     ):
         _no_sleep(monkeypatch)
         plan = _fast_faults(
-            WriteFault("chunk-*.npz", action=IO_ERROR, times=2)
+            WriteFault("chunk-*.npc", action=IO_ERROR, times=2)
         )
         runner = CheckpointRunner(
             config, tmp_path, checkpoint_every=EVERY, faults=plan
@@ -148,7 +148,7 @@ class TestCriticalWritesStayFatal:
     ):
         _no_sleep(monkeypatch)
         plan = _fast_faults(
-            WriteFault("chunk-*.npz", action=IO_ERROR, times=FOREVER)
+            WriteFault("chunk-*.npc", action=IO_ERROR, times=FOREVER)
         )
         runner = CheckpointRunner(
             config, tmp_path, checkpoint_every=EVERY, faults=plan
