@@ -14,6 +14,8 @@ import time
 
 from repro import obs
 from repro.config import small_config
+from repro.obs.progress import ProgressSink
+from repro.obs.resources import ResourceSampler
 from repro.obs.sink import JsonlSink
 from repro.simulator.engine import SimulationEngine
 
@@ -22,17 +24,24 @@ RELATIVE_BUDGET = 1.03
 ABSOLUTE_EPSILON_S = 0.05
 
 
-def _timed_run(config, sink=None) -> float:
+def _timed_run(config, sink=None, sinks=(), sampler=None) -> float:
     engine = SimulationEngine(config)
+    attached = list(sinks)
     if sink is not None:
-        obs.add_sink(sink)
+        attached.append(sink)
+    for s in attached:
+        obs.add_sink(s)
+    if sampler is not None:
+        sampler.start()
     start = time.perf_counter()
     try:
         engine.run()
     finally:
         elapsed = time.perf_counter() - start
-        if sink is not None:
-            obs.remove_sink(sink)
+        if sampler is not None:
+            sampler.stop()
+        for s in attached:
+            obs.remove_sink(s)
     return elapsed
 
 
@@ -48,5 +57,34 @@ def test_jsonl_sink_overhead_under_three_percent(tmp_path):
     budget = baseline * RELATIVE_BUDGET + ABSOLUTE_EPSILON_S
     assert instrumented <= budget, (
         f"traced run {instrumented:.3f}s exceeds {budget:.3f}s "
+        f"(baseline {baseline:.3f}s)"
+    )
+
+
+def test_full_live_stack_overhead_under_three_percent(tmp_path):
+    # The complete live-telemetry stack at once: JSONL sink + progress
+    # sidecar (atomic write per heartbeat) + background resource
+    # sampler.  Same <3% budget as the sink alone.
+    config = small_config(seed=7, days=60)
+    _timed_run(config)  # warm-up
+
+    baseline = min(_timed_run(config) for _ in range(RUNS))
+
+    def live(i):
+        run_dir = tmp_path / f"live{i}"
+        run_dir.mkdir()
+        return _timed_run(
+            config,
+            sinks=[
+                JsonlSink(run_dir / "telemetry.jsonl"),
+                ProgressSink(run_dir, days=config.days),
+            ],
+            sampler=ResourceSampler(),
+        )
+
+    instrumented = min(live(i) for i in range(RUNS))
+    budget = baseline * RELATIVE_BUDGET + ABSOLUTE_EPSILON_S
+    assert instrumented <= budget, (
+        f"live-instrumented run {instrumented:.3f}s exceeds {budget:.3f}s "
         f"(baseline {baseline:.3f}s)"
     )

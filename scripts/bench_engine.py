@@ -44,7 +44,9 @@ from repro.simulator.market import MarketIndex
 # v3: phase-1 sub-spans renamed for the whole-horizon path
 # (phase1.draws / phase1.build replace phase1.day) and a `columnar`
 # section measuring the .npc chunk codec's throughput.
-SCHEMA = "repro.bench_engine/v3"
+# v4: a `resources` section (repro.obs.resources summary: peak/mean
+# RSS, CPU utilization, GC pauses) sampled over the traced run.
+SCHEMA = "repro.bench_engine/v4"
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = _REPO_ROOT / "BENCH_engine.json"
 DEFAULT_HISTORY = _REPO_ROOT / "BENCH_history.jsonl"
@@ -90,8 +92,13 @@ def _descendant_totals(spans: list[dict], root_id: int) -> dict[str, dict]:
 
 def _run_phases(config) -> dict:
     engine = SimulationEngine(config)
-    with obs.capture() as sink:
-        result = engine.run()
+    sampler = obs.ResourceSampler()
+    sampler.start()
+    try:
+        with obs.capture() as sink:
+            result = engine.run()
+    finally:
+        resources = sampler.stop()
     spans = [e for e in sink.events if e["kind"] == "span"]
     by_name = {}
     for span in spans:
@@ -126,6 +133,7 @@ def _run_phases(config) -> dict:
             ),
         },
         "columnar": _bench_columnar(result, config.days),
+        "resources": resources,
     }
 
 

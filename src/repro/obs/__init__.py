@@ -40,6 +40,8 @@ from .metrics import (
     MetricsRegistry,
 )
 from .profile import PROFILE_ENV, maybe_profile, profiling_enabled
+from .progress import PROGRESS_NAME, ProgressSink, load_progress
+from .resources import ResourceSampler
 from .sink import (
     TELEMETRY_NAME,
     JsonlSink,
@@ -49,7 +51,7 @@ from .sink import (
     Sink,
 )
 from .timeseries import DAYLEDGER_NAME, DayLedger
-from .trace import Span, Tracer
+from .trace import DEFAULT_WORKER_ID, WORKER_ID_ENV, Span, Tracer
 
 __all__ = [
     "Counter",
@@ -61,16 +63,21 @@ __all__ = [
     "MemorySink",
     "MetricsRegistry",
     "NullSink",
+    "ProgressSink",
+    "ResourceSampler",
     "Sink",
     "Span",
     "Tracer",
     "DAYLEDGER_NAME",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_WORKER_ID",
     "HEARTBEAT_ENV",
     "LOG_LEVEL_ENV",
     "PROFILE_ENV",
+    "PROGRESS_NAME",
     "TELEMETRY_NAME",
+    "WORKER_ID_ENV",
     "add_sink",
     "capture",
     "counter",
@@ -80,16 +87,20 @@ __all__ = [
     "get_logger",
     "heartbeat_every",
     "histogram",
+    "load_progress",
     "maybe_profile",
     "metrics",
     "profiling_enabled",
     "publish_metrics",
+    "publish_resources",
     "remove_sink",
     "set_dayledger",
+    "set_worker_id",
     "setup_logging",
     "span",
     "trace",
     "tracer",
+    "worker_id",
 ]
 
 #: Days between progress heartbeat events in the engine's day loops.
@@ -133,6 +144,25 @@ def tracer() -> Tracer:
 def metrics() -> MetricsRegistry:
     """The process-global metrics registry."""
     return _METRICS
+
+
+def worker_id() -> str:
+    """The process-global worker id (``w0`` unless sharded)."""
+    return _TRACER.worker_id
+
+
+def set_worker_id(worker: str) -> str:
+    """Label this process's spans/events/metrics with ``worker``.
+
+    A sharded worker process calls this (or sets ``REPRO_OBS_WORKER_ID``
+    before import) so every telemetry payload it emits carries its
+    identity; ``repro.obs merge`` later combines the per-worker streams.
+    Returns the previous id so tests can restore it.
+    """
+    previous = _TRACER.worker_id
+    _TRACER.set_worker_id(worker)
+    _METRICS.worker_id = str(worker)
+    return previous
 
 
 def span(name: str, **attrs):
@@ -188,24 +218,53 @@ def capture() -> Iterator[MemorySink]:
         _TRACER.remove_sink(sink)
 
 
+def _tag_worker(payload: dict) -> dict:
+    if _TRACER.worker_id != DEFAULT_WORKER_ID:
+        payload["w"] = _TRACER.worker_id
+    return payload
+
+
 def publish_metrics() -> None:
     """Emit a cumulative metrics snapshot event to the attached sinks."""
     if _TRACER.sinks:
         _TRACER.emit(
-            {
-                "t": round(_TRACER.now(), 6),
-                "kind": "metrics",
-                "data": _METRICS.snapshot(),
-            }
+            _tag_worker(
+                {
+                    "t": round(_TRACER.now(), 6),
+                    "kind": "metrics",
+                    "data": _METRICS.snapshot(),
+                }
+            )
         )
+
+
+def publish_resources(summary: dict) -> None:
+    """Emit a resource-envelope event (see :mod:`repro.obs.resources`)."""
+    if _TRACER.sinks:
+        _TRACER.emit(
+            _tag_worker(
+                {
+                    "t": round(_TRACER.now(), 6),
+                    "kind": "resources",
+                    "data": summary,
+                }
+            )
+        )
+
+
+#: Malformed ``REPRO_OBS_HEARTBEAT_EVERY`` values already warned about
+#: (one warning per distinct value, not one per day loop).
+_HEARTBEAT_WARNED: set[str] = set()
 
 
 def heartbeat_every() -> int:
     """Day interval between heartbeat events (0 disables them).
 
     Read from ``REPRO_OBS_HEARTBEAT_EVERY`` on every call so tests and
-    long-lived processes can adjust it; malformed values fall back to
-    the default rather than aborting a simulation over telemetry.
+    long-lived processes can adjust it.  A malformed value falls back
+    to the clamped default with a warning (once per distinct value) --
+    a typo in a telemetry knob must never abort a simulation -- and
+    negative values clamp to 0 (disabled).
     """
     raw = os.environ.get(HEARTBEAT_ENV)
     if raw is None:
@@ -213,4 +272,12 @@ def heartbeat_every() -> int:
     try:
         return max(0, int(raw))
     except ValueError:
+        if raw not in _HEARTBEAT_WARNED:
+            _HEARTBEAT_WARNED.add(raw)
+            get_logger("obs").warning(
+                "%s=%r is not an integer; using the default of %d days",
+                HEARTBEAT_ENV,
+                raw,
+                DEFAULT_HEARTBEAT_EVERY,
+            )
         return DEFAULT_HEARTBEAT_EVERY

@@ -3,6 +3,11 @@
 ::
 
     python -m repro.obs report RUNS/x             # timing/metric report
+    python -m repro.obs report RUNS/x --json      # machine-readable
+    python -m repro.obs watch RUNS/x              # live progress tail
+    python -m repro.obs watch RUNS/x --once       # one status line
+    python -m repro.obs export RUNS/x --format chrome-trace
+    python -m repro.obs merge RUNS/w0 RUNS/w1 --out RUNS/merged
     python -m repro.obs runs index RUNS/          # build RUNS/runs.json
     python -m repro.obs runs list RUNS/           # registry table
     python -m repro.obs runs show RUNS/x          # one run's summary
@@ -11,9 +16,12 @@
 
 Reports go to stdout; diagnostics go to stderr via logging.  ``diff``
 exits 0 when every ``--fail-on`` rule holds, 1 on a violation, and 2
-when inputs are unreadable.  ``report`` on a run with missing or
-damaged telemetry prints a notice and exits 0 -- absent telemetry is a
-normal state (``telemetry=False`` runs), not an error.
+when inputs are unreadable.  ``report`` and ``watch`` on a run with
+missing telemetry or sidecar print a notice and exit 0 -- absent
+telemetry is a normal state (``telemetry=False`` runs, pre-sidecar
+dirs), not an error.  ``export`` and ``merge`` exit 2 on unreadable
+inputs: they produce artifacts, so a silent no-op would masquerade as
+success.
 """
 
 from __future__ import annotations
@@ -22,10 +30,11 @@ import argparse
 import json
 import os
 import sys
+import time
 from pathlib import Path
 
 from .logsetup import get_logger, setup_logging
-from .report import load_events, render_report, report_path
+from .report import load_events, render_report, report_json, report_path
 
 log = get_logger("obs.cli")
 
@@ -52,7 +61,103 @@ def _cmd_report(args: argparse.Namespace) -> int:
     except ValueError as exc:
         _print(f"no usable telemetry at {path}: {exc}")
         return 0
+    if args.json:
+        document = report_json(events, source=path)
+        text = json.dumps(document, indent=2, sort_keys=True)
+        if args.out is not None:
+            from ..records.atomic import atomic_write_text
+
+            atomic_write_text(args.out, text + "\n")
+            _print(f"wrote report -> {args.out}")
+        else:
+            _print(text)
+        return 0
+    if args.out is not None:
+        log.error("--out requires --json")
+        return 2
     _print(render_report(events, source=path))
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .progress import PROGRESS_NAME, load_progress, render_progress
+
+    def line() -> str | None:
+        progress = load_progress(args.run_dir)
+        if progress is None:
+            return None
+        stale_s = None
+        updated = progress.get("updated_unix")
+        if updated is not None:
+            stale_s = max(0.0, time.time() - float(updated))
+            if stale_s < 2 * max(args.interval, 1.0):
+                stale_s = None
+        return render_progress(progress, stale_s=stale_s)
+
+    if args.once:
+        rendered = line()
+        if rendered is None:
+            _print(
+                f"no {PROGRESS_NAME} under {args.run_dir} "
+                f"(pre-sidecar run, or not started yet)"
+            )
+        else:
+            _print(rendered)
+        return 0
+
+    last = None
+    try:
+        while True:
+            rendered = line()
+            if rendered is None:
+                if last is None:
+                    _print(f"waiting for {PROGRESS_NAME} in {args.run_dir}...")
+                    last = "waiting"
+            elif rendered != last:
+                _print(rendered)
+                last = rendered
+            if rendered is not None and not rendered.startswith("running"):
+                return 0
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .export import TRACE_NAME, export_chrome_trace
+
+    path = report_path(args.target)
+    if not path.exists():
+        log.error("%s: no telemetry to export", path)
+        return 2
+    try:
+        events = load_events(path)
+    except ValueError as exc:
+        log.error("%s", exc)
+        return 2
+    out = args.out
+    if out is None:
+        target = Path(args.target)
+        out = (target if target.is_dir() else target.parent) / TRACE_NAME
+    export_chrome_trace(events, out)
+    _print(f"wrote {args.format} ({len(events)} events) -> {out}")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from .merge import MergeError, merge_runs
+
+    try:
+        record = merge_runs(args.inputs, args.out)
+    except MergeError as exc:
+        log.error("%s", exc)
+        return 2
+    _print(
+        f"merged {len(record['inputs'])} fragment(s) "
+        f"[{', '.join(record['workers'])}]: "
+        f"{record['telemetry_events']} events, "
+        f"{record['ledger_days']} ledger day(s) -> {args.out}"
+    )
     return 0
 
 
@@ -128,7 +233,76 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         help="run directory (containing telemetry.jsonl) or a JSONL file",
     )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as a JSON document (repro.report/v1)",
+    )
+    report.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="with --json: write the document here instead of stdout",
+    )
     report.set_defaults(func=_cmd_report)
+
+    watch = sub.add_parser(
+        "watch", help="tail a run's progress.json sidecar as status lines"
+    )
+    watch.add_argument(
+        "run_dir", type=Path, help="checkpoint-runner run directory"
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="print the current status line and exit",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default: 2)",
+    )
+    watch.set_defaults(func=_cmd_watch)
+
+    export = sub.add_parser(
+        "export", help="export telemetry (Chrome trace_event JSON)"
+    )
+    export.add_argument(
+        "target",
+        type=Path,
+        help="run directory (containing telemetry.jsonl) or a JSONL file",
+    )
+    export.add_argument(
+        "--format",
+        choices=("chrome-trace",),
+        default="chrome-trace",
+        help="output format (default: chrome-trace)",
+    )
+    export.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output path (default: <run-dir>/trace.json)",
+    )
+    export.set_defaults(func=_cmd_export)
+
+    merge = sub.add_parser(
+        "merge", help="merge per-worker run fragments into one layout"
+    )
+    merge.add_argument(
+        "inputs",
+        type=Path,
+        nargs="+",
+        help="per-worker run directories (any order)",
+    )
+    merge.add_argument(
+        "--out",
+        type=Path,
+        required=True,
+        help="directory for the merged telemetry/ledger",
+    )
+    merge.set_defaults(func=_cmd_merge)
 
     runs = sub.add_parser(
         "runs", help="index / list / show run directories (runs.json)"
@@ -164,7 +338,8 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "gate rule(s): drift=FRAC (ledger series divergence), "
             "phase_time=FRAC (phase regression), validation=N (new "
-            "misses); repeatable or comma-separated"
+            "misses), degraded=N (lost auxiliary writes), rss=FRAC "
+            "(peak-RSS growth); repeatable or comma-separated"
         ),
     )
     diff.set_defaults(func=_cmd_diff)

@@ -30,6 +30,10 @@ comma-separable):
     Fail if run B degraded more than ``N`` auxiliary writes: its final
     ``io.degraded`` + ``io.giveups`` counters (``degraded=0`` demands
     a run that never lost a telemetry or ledger flush).
+``rss=FRAC``
+    Fail if run B's overall peak RSS grew by more than ``FRAC``
+    relative to A's, from the resource envelope each run's telemetry
+    records (``rss=0.2`` = "no more than 20% extra resident memory").
 
 Exit codes: 0 -- compared (and every rule held); 1 -- at least one
 rule violated; 2 -- a run directory was unreadable or a rule
@@ -51,7 +55,7 @@ from .registry import (
     load_validation,
     phase_totals,
 )
-from .report import load_events, report_path
+from .report import last_resources, load_events, report_path
 from .timeseries import DAYLEDGER_NAME, load_rows, policy_days, rows_to_series
 
 __all__ = [
@@ -88,6 +92,9 @@ class RunData:
     #: readable manifest).  Informational only: the diff never reads
     #: chunk bytes, so runs in different formats stay fully comparable.
     chunk_format: str | None = None
+    #: Resource envelope (:mod:`repro.obs.resources` summary) from the
+    #: run's telemetry, ``None`` when the run recorded none.
+    resources: dict | None = None
     notes: list[str] = field(default_factory=list)
 
 
@@ -124,6 +131,7 @@ def load_run(run_dir: str | Path) -> RunData:
             events = load_events(telemetry)
             data.phases = phase_totals(events)
             data.metrics = last_metrics(events)
+            data.resources = last_resources(events)
         except ValueError as exc:
             data.notes.append(f"telemetry unreadable: {exc}")
     else:
@@ -240,7 +248,7 @@ def diff_runs(a: RunData, b: RunData) -> RunDiff:
 # --fail-on rules
 # ----------------------------------------------------------------------
 
-_RULES = ("drift", "phase_time", "validation", "degraded")
+_RULES = ("drift", "phase_time", "validation", "degraded", "rss")
 
 
 def parse_fail_on(specs: list[str]) -> dict[str, float]:
@@ -336,6 +344,28 @@ def evaluate_fail_on(diff: RunDiff, rules: dict[str, float]) -> list[str]:
                     f"degraded: run b degraded {degraded:g} auxiliary "
                     f"write(s) (io.degraded + io.giveups > {budget:g})"
                 )
+
+    if "rss" in rules:
+        threshold = rules["rss"]
+        peak_a = ((diff.a.resources or {}).get("overall") or {}).get(
+            "rss_peak_kb"
+        )
+        peak_b = ((diff.b.resources or {}).get("overall") or {}).get(
+            "rss_peak_kb"
+        )
+        if peak_a is None and peak_b is None:
+            pass  # neither run sampled resources: nothing to compare
+        elif peak_a is None or peak_b is None:
+            missing = diff.b.path if peak_b is None else diff.a.path
+            violations.append(
+                f"rss: {missing} has no resource envelope in its telemetry"
+            )
+        elif peak_a > 0 and peak_b / peak_a - 1.0 > threshold:
+            violations.append(
+                f"rss: peak RSS grew {peak_a / 1024:.1f}M -> "
+                f"{peak_b / 1024:.1f}M "
+                f"(+{peak_b / peak_a - 1.0:.0%} > {threshold:.0%})"
+            )
 
     if "validation" in rules:
         budget = rules["validation"]
@@ -435,6 +465,21 @@ def render_diff(diff: RunDiff, top_series: int = 12) -> str:
                     f"    {name:<22} a: {pa:.4g} -> {qa:.4g}   "
                     f"b: {pb:.4g} -> {qb:.4g}"
                 )
+
+    peak_a = ((diff.a.resources or {}).get("overall") or {}).get(
+        "rss_peak_kb"
+    )
+    peak_b = ((diff.b.resources or {}).get("overall") or {}).get(
+        "rss_peak_kb"
+    )
+    if peak_a is not None or peak_b is not None:
+        fa = f"{peak_a / 1024:.1f}M" if peak_a is not None else "-"
+        fb = f"{peak_b / 1024:.1f}M" if peak_b is not None else "-"
+        delta = ""
+        if peak_a and peak_b:
+            delta = f"  ({peak_b / peak_a - 1.0:+.1%})"
+        lines.append("")
+        lines.append(f"peak RSS: {fa:>10}  {fb:>10}{delta}")
 
     notes = [f"a: {n}" for n in diff.a.notes] + [
         f"b: {n}" for n in diff.b.notes

@@ -1,0 +1,138 @@
+"""Trace export: recorded spans/events as Chrome ``trace_event`` JSON.
+
+``python -m repro.obs export <run-dir> --format chrome-trace`` converts
+a run's ``telemetry.jsonl`` into the Trace Event Format that
+``chrome://tracing`` and Perfetto load natively, turning the phase tree
+into a visual timeline:
+
+* **spans** become complete (``"ph": "X"``) events -- name, start and
+  duration in microseconds, span attrs under ``args`` -- so nesting
+  renders as stacked slices;
+* **point events** (checkpoints, heartbeats, faults) become instant
+  (``"ph": "i"``) events with process scope;
+* **metrics snapshots** become counter (``"ph": "C"``) events, one per
+  counter, so cumulative series (rows emitted, chunks written) plot as
+  staircase tracks under the slices;
+* each **worker id** (the ``"w"`` field; absent means ``w0``) maps to
+  its own pid with a process-name metadata record, so a merged
+  multi-worker file renders as parallel process tracks.
+
+The export is deterministic: workers are ordered by their natural sort
+key and events keep their file order within a worker, so the same
+telemetry always produces the same JSON bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from .trace import DEFAULT_WORKER_ID
+
+__all__ = [
+    "TRACE_NAME",
+    "EXPORT_FORMATS",
+    "events_to_chrome_trace",
+    "export_chrome_trace",
+    "worker_sort_key",
+]
+
+#: Default export file name inside a run directory.
+TRACE_NAME = "trace.json"
+
+EXPORT_FORMATS = ("chrome-trace",)
+
+_NATURAL = re.compile(r"^(.*?)(\d+)$")
+
+
+def worker_sort_key(worker: str) -> tuple:
+    """Natural sort key so ``w2`` orders before ``w10``."""
+    match = _NATURAL.match(worker)
+    if match is None:
+        return (worker, -1)
+    return (match.group(1), int(match.group(2)))
+
+
+def _event_worker(event: dict) -> str:
+    return str(event.get("w", DEFAULT_WORKER_ID))
+
+
+def events_to_chrome_trace(events: list[dict]) -> dict:
+    """Build the Trace Event Format payload for one telemetry stream."""
+    workers = sorted(
+        {_event_worker(e) for e in events} or {DEFAULT_WORKER_ID},
+        key=worker_sort_key,
+    )
+    pid_of = {worker: index + 1 for index, worker in enumerate(workers)}
+
+    trace_events: list[dict] = []
+    for worker in workers:
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid_of[worker],
+                "tid": 0,
+                "args": {"name": f"repro worker {worker}"},
+            }
+        )
+
+    for event in events:
+        pid = pid_of[_event_worker(event)]
+        kind = event.get("kind")
+        if kind == "span":
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": str(event.get("name", "?")),
+                    "cat": "span",
+                    "ts": round(float(event.get("start", 0.0)) * 1e6, 1),
+                    "dur": round(float(event.get("dur", 0.0)) * 1e6, 1),
+                    "pid": pid,
+                    "tid": 1,
+                    "args": event.get("attrs") or {},
+                }
+            )
+        elif kind == "event":
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "name": str(event.get("name", "?")),
+                    "cat": "event",
+                    "ts": round(float(event.get("t", 0.0)) * 1e6, 1),
+                    "pid": pid,
+                    "tid": 1,
+                    "s": "p",
+                    "args": event.get("attrs") or {},
+                }
+            )
+        elif kind == "metrics":
+            counters = (event.get("data") or {}).get("counters") or {}
+            ts = round(float(event.get("t", 0.0)) * 1e6, 1)
+            for name in sorted(counters):
+                trace_events.append(
+                    {
+                        "ph": "C",
+                        "name": name,
+                        "ts": ts,
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {"value": counters[name]},
+                    }
+                )
+        # "resources" and unknown kinds carry no timeline geometry.
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(events: list[dict], out: str | Path) -> Path:
+    """Serialize the chrome-trace payload atomically to ``out``."""
+    from ..records.atomic import atomic_write_text
+
+    out = Path(out)
+    payload = events_to_chrome_trace(events)
+    atomic_write_text(
+        out, json.dumps(payload, separators=(",", ":"), sort_keys=True) + "\n"
+    )
+    return out

@@ -1,0 +1,330 @@
+"""Deterministic merge of per-worker run fragments.
+
+The ROADMAP's process-sharding item splits one run across N worker
+processes, each writing its own telemetry/ledger fragment into its own
+directory.  ``python -m repro.obs merge <dir> [dirs...] --out <dir>``
+combines those fragments back into the canonical single-stream layout
+every existing tool (report, registry, diff, export) already reads --
+the observability groundwork that must exist *before* any worker pool
+does.
+
+Merge contract:
+
+* **Deterministic**: fragments are ordered by worker id (natural sort,
+  directory name as tie-break), so the output bytes are identical for
+  any input order.
+* **Identity on one fragment**: a single-worker merge copies
+  ``telemetry.jsonl`` and ``dayledger.jsonl`` byte-for-byte, so a
+  merged unsharded run is indistinguishable from the original run
+  directory (the CI gate diffs the two with ``--fail-on drift=0``).
+* **Telemetry**: fragments concatenate in worker order; span ids (and
+  parent pointers) are offset past every id already emitted -- the
+  same scheme :class:`~repro.obs.sink.JsonlSink` uses across
+  crash/resume boundaries -- and events missing a ``"w"`` tag gain
+  their fragment's worker id, so the merged stream stays pid-aware for
+  ``repro.obs export``.  When two or more fragments carry final
+  metrics snapshots, one merged snapshot (counters summed, gauges
+  max-combined, histograms bucket-summed) is appended.
+* **Ledger**: rows merge day by day -- integer and float accumulators
+  sum, shutdown stage maps add up, ``policy_change`` ORs -- and the
+  derived ratios (fraud shares, mean CPC, mainline depth) are
+  recomputed from the summed raw fields, exactly as
+  :class:`~repro.obs.timeseries.DayLedger` derives them.
+* A ``merge.json`` record (schema ``repro.merge/v1``) documents the
+  inputs and worker ids; it contains no timestamps, keeping the whole
+  output directory reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .export import worker_sort_key
+from .progress import load_progress
+from .sink import TELEMETRY_NAME
+from .timeseries import (
+    DAYLEDGER_NAME,
+    _MARKET_FLOAT_FIELDS,
+    _MARKET_INT_FIELDS,
+    load_rows,
+)
+from .trace import DEFAULT_WORKER_ID
+
+__all__ = ["MERGE_RECORD_NAME", "MergeError", "merge_runs"]
+
+#: Audit record written next to the merged artifacts.
+MERGE_RECORD_NAME = "merge.json"
+
+MERGE_SCHEMA = "repro.merge/v1"
+
+
+class MergeError(ValueError):
+    """A fragment is unreadable or the fragment set is inconsistent."""
+
+
+class _Fragment:
+    """One input run directory's mergeable artifacts."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.telemetry_text: str | None = None
+        self.events: list[dict] = []
+        self.ledger_rows: list[dict] | None = None
+        self.worker: str | None = None
+
+        telemetry = path / TELEMETRY_NAME
+        if telemetry.exists():
+            self.telemetry_text = telemetry.read_text()
+            for lineno, line in enumerate(
+                self.telemetry_text.splitlines(), start=1
+            ):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise MergeError(
+                        f"{telemetry}:{lineno}: malformed telemetry ({exc})"
+                    ) from None
+                if not isinstance(event, dict):
+                    raise MergeError(
+                        f"{telemetry}:{lineno}: event is not a JSON object"
+                    )
+                self.events.append(event)
+                if self.worker is None and "w" in event:
+                    self.worker = str(event["w"])
+
+        ledger = path / DAYLEDGER_NAME
+        if ledger.exists():
+            try:
+                self.ledger_rows = load_rows(ledger)
+            except ValueError as exc:
+                raise MergeError(str(exc)) from None
+
+        if self.worker is None:
+            progress = load_progress(path)
+            if progress and progress.get("worker"):
+                self.worker = str(progress["worker"])
+
+
+def _load_fragments(inputs: list[Path]) -> list[_Fragment]:
+    fragments = []
+    for path in inputs:
+        path = Path(path)
+        if not path.is_dir():
+            raise MergeError(f"{path}: not a run directory")
+        fragments.append(_Fragment(path))
+    # Canonical order first (explicit worker id, then directory name),
+    # then fill in ids for fragments that never declared one -- the
+    # assignment is positional over the sorted order, so it does not
+    # depend on the order the caller passed the inputs in.
+    fragments.sort(
+        key=lambda f: (
+            worker_sort_key(f.worker) if f.worker else ("", -1),
+            f.path.name,
+        )
+    )
+    taken = {f.worker for f in fragments if f.worker}
+    next_free = 0
+    for fragment in fragments:
+        if fragment.worker is None:
+            while f"w{next_free}" in taken:
+                next_free += 1
+            fragment.worker = f"w{next_free}"
+            taken.add(fragment.worker)
+    fragments.sort(key=lambda f: (worker_sort_key(f.worker), f.path.name))
+    workers = [f.worker for f in fragments]
+    if len(set(workers)) != len(workers):
+        raise MergeError(f"duplicate worker ids across fragments: {workers}")
+    return fragments
+
+
+def _merge_telemetry(fragments: list[_Fragment]) -> str | None:
+    """Concatenate event streams with resume-style span-id offsets."""
+    with_events = [f for f in fragments if f.telemetry_text is not None]
+    if not with_events:
+        return None
+    if len(with_events) == 1 and len(fragments) == 1:
+        # Identity merge: the canonical unsplit layout, byte-for-byte.
+        return with_events[0].telemetry_text
+
+    lines: list[str] = []
+    offset = 0
+    snapshots: list[tuple[str, dict, float]] = []
+    for fragment in with_events:
+        max_id = offset
+        last_snapshot: tuple[dict, float] | None = None
+        for event in fragment.events:
+            event = dict(event)
+            if event.get("kind") == "span" and isinstance(
+                event.get("id"), int
+            ):
+                event["id"] += offset
+                if event.get("parent") is not None:
+                    event["parent"] += offset
+                max_id = max(max_id, event["id"])
+            if "w" not in event:
+                event["w"] = fragment.worker
+            if event.get("kind") == "metrics" and isinstance(
+                event.get("data"), dict
+            ):
+                last_snapshot = (event["data"], float(event.get("t", 0.0)))
+            lines.append(
+                json.dumps(event, separators=(",", ":"), default=str)
+            )
+        offset = max_id
+        if last_snapshot is not None:
+            snapshots.append((fragment.worker, *last_snapshot))
+
+    if len(snapshots) >= 2:
+        lines.append(
+            json.dumps(
+                {
+                    "t": round(max(t for _, _, t in snapshots), 6),
+                    "kind": "metrics",
+                    "data": _merge_snapshots(snapshots),
+                },
+                separators=(",", ":"),
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _merge_snapshots(snapshots: list[tuple[str, dict, float]]) -> dict:
+    """Combine per-worker final metrics snapshots into one."""
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for _, data, _ in snapshots:
+        for name, value in (data.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in (data.get("gauges") or {}).items():
+            gauges[name] = max(gauges.get(name, value), value)
+        for name, hist in (data.get("histograms") or {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "buckets": list(hist.get("buckets", ())),
+                    "counts": list(hist.get("counts", ())),
+                    "count": hist.get("count", 0),
+                    "sum": hist.get("sum", 0.0),
+                }
+            elif merged["buckets"] == list(hist.get("buckets", ())):
+                merged["counts"] = [
+                    a + b for a, b in zip(merged["counts"], hist["counts"])
+                ]
+                merged["count"] += hist.get("count", 0)
+                merged["sum"] = round(merged["sum"] + hist.get("sum", 0.0), 6)
+    return {
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "gauges": {name: gauges[name] for name in sorted(gauges)},
+        "histograms": {name: histograms[name] for name in sorted(histograms)},
+        "workers": [worker for worker, _, _ in snapshots],
+    }
+
+
+def _merge_ledgers(fragments: list[_Fragment]) -> str | None:
+    """Day-wise sum of ledger fragments, derived fields recomputed."""
+    with_rows = [f for f in fragments if f.ledger_rows is not None]
+    if not with_rows:
+        return None
+    if len(with_rows) == 1 and len(fragments) == 1:
+        return (with_rows[0].path / DAYLEDGER_NAME).read_text()
+
+    by_day: dict[int, list[dict]] = {}
+    for fragment in with_rows:
+        for row in fragment.ledger_rows:
+            by_day.setdefault(int(row["day"]), []).append(row)
+
+    lines: list[str] = []
+    for day in sorted(by_day):
+        rows = by_day[day]
+        merged: dict = {
+            "day": day,
+            "registrations_legit": sum(
+                int(r.get("registrations_legit", 0)) for r in rows
+            ),
+            "registrations_fraud": sum(
+                int(r.get("registrations_fraud", 0)) for r in rows
+            ),
+        }
+        shutdowns: dict[str, int] = {}
+        for row in rows:
+            for stage, count in (row.get("shutdowns") or {}).items():
+                shutdowns[str(stage)] = shutdowns.get(str(stage), 0) + int(count)
+        merged["shutdowns"] = dict(sorted(shutdowns.items()))
+        if any(row.get("policy_change") for row in rows):
+            merged["policy_change"] = True
+        market_rows = [r for r in rows if "rows" in r]
+        if market_rows:
+            for name in _MARKET_INT_FIELDS:
+                merged[name] = sum(int(r.get(name, 0)) for r in market_rows)
+            for name in _MARKET_FLOAT_FIELDS:
+                merged[name] = float(
+                    sum(float(r.get(name, 0.0)) for r in market_rows)
+                )
+            clicks = merged["clicks"]
+            spend = merged["spend"]
+            auctions = merged["auctions"]
+            merged["fraud_click_share"] = (
+                merged["fraud_clicks"] / clicks if clicks else 0.0
+            )
+            merged["fraud_spend_share"] = (
+                merged["fraud_spend"] / spend if spend else 0.0
+            )
+            merged["mean_cpc"] = spend / clicks if clicks else 0.0
+            merged["mainline_depth"] = (
+                merged["mainline_slots"] / auctions if auctions else 0.0
+            )
+        lines.append(
+            json.dumps(merged, sort_keys=True, separators=(",", ":"))
+        )
+    return "\n".join(lines) + "\n"
+
+
+def merge_runs(inputs: list[str | Path], out_dir: str | Path) -> dict:
+    """Merge per-worker fragments into ``out_dir``; returns a summary.
+
+    The summary (also persisted as ``merge.json``) records the worker
+    order, input directories, and artifact sizes.  Raises
+    :class:`MergeError` on unreadable fragments or duplicate worker
+    ids.
+    """
+    from ..records.atomic import atomic_write_text
+
+    fragments = _load_fragments([Path(p) for p in inputs])
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    telemetry_text = _merge_telemetry(fragments)
+    if telemetry_text is not None:
+        atomic_write_text(out_dir / TELEMETRY_NAME, telemetry_text)
+    ledger_text = _merge_ledgers(fragments)
+    if ledger_text is not None:
+        atomic_write_text(out_dir / DAYLEDGER_NAME, ledger_text)
+
+    record = {
+        "schema": MERGE_SCHEMA,
+        "workers": [f.worker for f in fragments],
+        "inputs": [str(f.path) for f in fragments],
+        "telemetry_events": (
+            sum(len(f.events) for f in fragments)
+            if telemetry_text is not None
+            else 0
+        ),
+        "ledger_days": (
+            len(ledger_text.splitlines()) if ledger_text is not None else 0
+        ),
+    }
+    atomic_write_text(
+        out_dir / MERGE_RECORD_NAME,
+        json.dumps(record, indent=2, sort_keys=True) + "\n",
+    )
+    return record
+
+
+def default_worker_id() -> str:
+    """Convenience re-export for callers labelling fragments."""
+    return DEFAULT_WORKER_ID

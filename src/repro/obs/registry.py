@@ -25,6 +25,7 @@ import json
 import re
 from pathlib import Path
 
+from .progress import load_progress
 from .report import aggregate_spans, load_events, report_path
 from .timeseries import DAYLEDGER_NAME, load_rows, policy_days, rows_to_series
 
@@ -32,6 +33,7 @@ __all__ = [
     "RUNS_INDEX_NAME",
     "VALIDATION_JSON_NAME",
     "PHASE_NAMES",
+    "live_status",
     "summarize_run",
     "index_runs",
     "phase_totals",
@@ -177,6 +179,30 @@ def _bench_summary(run_dir: Path) -> dict | None:
     return summaries or None
 
 
+def live_status(run_dir: str | Path) -> dict | None:
+    """The ``progress.json`` sidecar condensed for the registry.
+
+    Returns ``{"status", "phase", "day", "days", "eta_s",
+    "days_per_sec", "degraded", "updated_unix"}`` or ``None`` for
+    pre-sidecar run directories (runs recorded before the live-progress
+    layer, or with telemetry disabled) -- the table renders those with
+    a fallback notice rather than guessing.
+    """
+    progress = load_progress(run_dir)
+    if progress is None:
+        return None
+    return {
+        "status": progress.get("status"),
+        "phase": progress.get("phase"),
+        "day": progress.get("day"),
+        "days": progress.get("days"),
+        "eta_s": progress.get("eta_s"),
+        "days_per_sec": progress.get("days_per_sec"),
+        "degraded": bool(progress.get("degraded")),
+        "updated_unix": progress.get("updated_unix"),
+    }
+
+
 def summarize_run(run_dir: str | Path) -> dict | None:
     """One registry record for a run directory.
 
@@ -206,6 +232,7 @@ def summarize_run(run_dir: str | Path) -> dict | None:
         "chunks": len(chunks),
         "rows": sum(int(c.get("rows", 0)) for c in chunks),
         "phases_s": None,
+        "live": live_status(run_dir),
         "validation": load_validation(run_dir),
         "ledger": _ledger_summary(run_dir),
         "bench": _bench_summary(run_dir),
@@ -246,6 +273,20 @@ def index_runs(root: str | Path, out: str | Path | None = None) -> dict:
     return index
 
 
+def _status_cell(live: dict | None) -> str:
+    """One table cell for a run's live status."""
+    if live is None:
+        return "-"
+    status = str(live.get("status") or "?")
+    if live.get("degraded"):
+        status += "!"
+    if status.startswith("running"):
+        from .progress import _format_eta
+
+        status += f" {_format_eta(live.get('eta_s'))}"
+    return status
+
+
 def render_runs_table(index: dict) -> str:
     """Human-readable table for ``runs list``."""
     runs = index.get("runs") or []
@@ -253,9 +294,10 @@ def render_runs_table(index: dict) -> str:
         return f"no run directories under {index.get('root')}"
     header = (
         f"{'run':<24} {'phase':<9} {'seed':>10} {'days':>6} {'rows':>10} "
-        f"{'valid':>7} {'ledger':>7}"
+        f"{'valid':>7} {'ledger':>7} {'status':<18}"
     )
     lines = [header, "-" * len(header)]
+    pre_sidecar = 0
     for run in runs:
         validation = run.get("validation")
         valid = (
@@ -264,10 +306,19 @@ def render_runs_table(index: dict) -> str:
             else "-"
         )
         ledger = run.get("ledger")
+        live = run.get("live")
+        if live is None:
+            pre_sidecar += 1
         lines.append(
             f"{run['dir']:<24} {str(run.get('phase')):<9} "
             f"{str(run.get('seed')):>10} {str(run.get('days')):>6} "
             f"{run.get('rows', 0):>10} {valid:>7} "
-            f"{(str(ledger['days']) + 'd') if ledger else '-':>7}"
+            f"{(str(ledger['days']) + 'd') if ledger else '-':>7} "
+            f"{_status_cell(live):<18}"
+        )
+    if pre_sidecar:
+        lines.append(
+            f"note: {pre_sidecar} run(s) predate the progress sidecar "
+            f"(no progress.json); status shown as '-'"
         )
     return "\n".join(lines)

@@ -8,10 +8,15 @@ The report has three sections:
 * **events** -- point events (checkpoints, heartbeats, faults)
   aggregated by name, with the attributes of the last occurrence;
 * **metrics** -- the *last* metrics snapshot in the file (snapshots
-  are cumulative, so the last one is the run's final state).
+  are cumulative, so the last one is the run's final state);
+* **resources** -- the resource envelope (peak/mean RSS, CPU
+  utilization, GC pauses per phase) when the run recorded one
+  (:mod:`~repro.obs.resources`).
 
 Used by ``python -m repro.obs report <run-dir>``; importable directly
-for tests and notebooks.
+for tests and notebooks.  ``report_json`` produces the same content as
+a machine-readable document (``repro.report/v1``) for
+``report --json [--out]``.
 """
 
 from __future__ import annotations
@@ -21,7 +26,16 @@ from pathlib import Path
 
 from .sink import TELEMETRY_NAME
 
-__all__ = ["load_events", "aggregate_spans", "render_report", "report_path"]
+__all__ = [
+    "load_events",
+    "aggregate_spans",
+    "last_resources",
+    "render_report",
+    "report_json",
+    "report_path",
+]
+
+REPORT_SCHEMA = "repro.report/v1"
 
 
 def report_path(target: str | Path) -> Path:
@@ -178,6 +192,86 @@ def _render_metrics(events: list[dict]) -> list[str]:
     return lines
 
 
+def last_resources(events: list[dict]) -> dict | None:
+    """The final resource-envelope payload in a telemetry stream."""
+    summary = None
+    for event in events:
+        if event.get("kind") == "resources":
+            summary = event.get("data")
+    return summary
+
+
+def _render_resources(events: list[dict]) -> list[str]:
+    summary = last_resources(events)
+    if not summary:
+        return []
+    lines = ["resources:"]
+
+    def describe(label: str, stats: dict) -> str:
+        gc = stats.get("gc") or {}
+        return (
+            f"  {label:<18} rss peak {stats.get('rss_peak_kb', 0) / 1024:.1f}M"
+            f" mean {stats.get('rss_mean_kb', 0) / 1024:.1f}M"
+            f"  cpu {stats.get('cpu_utilization', 0.0):.0%}"
+            f" ({stats.get('cpu_s', 0.0):.2f}s/"
+            f"{stats.get('wall_s', 0.0):.2f}s)"
+            f"  gc {gc.get('collections', 0)}x"
+            f" {gc.get('pause_total_s', 0.0) * 1000:.1f}ms"
+        )
+
+    overall = summary.get("overall")
+    if overall:
+        lines.append(describe("overall", overall))
+    for name, stats in sorted((summary.get("phases") or {}).items()):
+        lines.append(describe(name, stats))
+    return lines
+
+
+def report_json(
+    events: list[dict], source: str | Path | None = None
+) -> dict:
+    """The report as a machine-readable document (``repro.report/v1``).
+
+    Same content as :func:`render_report`: the aggregated span tree
+    (name-paths joined with ``/``), event counts with last attrs, the
+    final metrics snapshot, and the resource envelope when recorded.
+    """
+    aggregated = aggregate_spans(events)
+    spans = []
+    for path in sorted(aggregated):
+        record = aggregated[path]
+        spans.append(
+            {
+                "path": "/".join(path),
+                "count": record["count"],
+                "total_s": round(record["total"], 6),
+                "mean_s": round(record["total"] / record["count"], 6),
+                "max_s": round(record["max"], 6),
+            }
+        )
+    by_name: dict[str, dict] = {}
+    for event in events:
+        if event.get("kind") != "event":
+            continue
+        name = str(event.get("name", "?"))
+        record = by_name.setdefault(name, {"count": 0, "last_attrs": {}})
+        record["count"] += 1
+        record["last_attrs"] = event.get("attrs") or {}
+    metrics = None
+    for event in events:
+        if event.get("kind") == "metrics":
+            metrics = event.get("data")
+    return {
+        "schema": REPORT_SCHEMA,
+        "source": str(source) if source is not None else None,
+        "events": len(events),
+        "spans": spans,
+        "events_by_name": {name: by_name[name] for name in sorted(by_name)},
+        "metrics": metrics,
+        "resources": last_resources(events),
+    }
+
+
 def _layout_notices(aggregated: dict[tuple[str, ...], dict]) -> list[str]:
     """Informational notes about recognizably old span layouts.
 
@@ -211,4 +305,7 @@ def render_report(events: list[dict], source: str | Path | None = None) -> str:
     metric_lines = _render_metrics(events)
     if metric_lines:
         sections.append(metric_lines)
+    resource_lines = _render_resources(events)
+    if resource_lines:
+        sections.append(resource_lines)
     return "\n\n".join("\n".join(section) for section in sections)

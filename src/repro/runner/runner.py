@@ -53,6 +53,8 @@ from pathlib import Path
 from .. import obs
 from ..config import SimulationConfig
 from ..errors import ConfigError, SimulationError
+from ..obs.progress import ProgressSink
+from ..obs.resources import ResourceSampler
 from ..obs.sink import TELEMETRY_NAME, JsonlSink
 from ..obs.timeseries import DAYLEDGER_NAME, DayLedger
 from ..records.atomic import (
@@ -106,6 +108,8 @@ class CheckpointRunner:
         faults: FaultPlan | None = None,
         telemetry: bool = True,
         ledger: bool = True,
+        progress: bool = True,
+        resources: bool = True,
         chunk_format: str = DEFAULT_CHUNK_FORMAT,
     ) -> None:
         if checkpoint_every < 1:
@@ -119,6 +123,8 @@ class CheckpointRunner:
         self.chunk_format = chunk_format
         self.telemetry = telemetry
         self.ledger = ledger
+        self.progress = progress
+        self.resources = resources
         self.manifest_path = self.run_dir / MANIFEST_NAME
         self.chunk_dir = self.run_dir / CHUNK_DIR
         self.phase1_path = self.run_dir / PHASE1_NAME
@@ -127,6 +133,8 @@ class CheckpointRunner:
         self._faults = faults if faults is not None else FaultPlan()
         self._sink: JsonlSink | None = None
         self._ledger: DayLedger | None = None
+        self._progress: ProgressSink | None = None
+        self._sampler: ResourceSampler | None = None
         #: Auxiliary artifacts whose writes have already warned once.
         self._degraded: set[str] = set()
 
@@ -148,6 +156,17 @@ class CheckpointRunner:
         than the manifest guarantees.  A crash loses only the events
         buffered since the last checkpoint, exactly as it loses the
         impression rows since then; resume appends to the same file.
+
+        With ``progress`` enabled (the default) a
+        :class:`~repro.obs.progress.ProgressSink` additionally rewrites
+        the small ``progress.json`` sidecar on every heartbeat and
+        checkpoint, *independent* of the checkpoint-gated telemetry
+        flush, so watchers see live state between checkpoints.  With
+        ``resources`` enabled (the default) a background
+        :class:`~repro.obs.resources.ResourceSampler` records the run's
+        RSS/CPU/GC envelope per phase and publishes it into the
+        telemetry on completion.  Both are pure observers: neither
+        touches the named RNG streams, so the run stays bit-identical.
         """
         has_manifest = self.manifest_path.exists()
         if resume is True and not has_manifest:
@@ -171,6 +190,16 @@ class CheckpointRunner:
         if self.telemetry:
             self._sink = JsonlSink(self.run_dir / TELEMETRY_NAME)
             obs.add_sink(self._sink)
+        if self.progress:
+            self._progress = ProgressSink(
+                self.run_dir,
+                days=self.config.days,
+                worker_id=obs.worker_id(),
+            )
+            obs.add_sink(self._progress)
+        if self.resources:
+            self._sampler = ResourceSampler()
+            self._sampler.start()
         prior_ledger: DayLedger | None = None
         if self.ledger:
             # The ledger, like the telemetry sink, is flushed only when
@@ -179,22 +208,40 @@ class CheckpointRunner:
             # re-simulates identically.
             self._ledger = DayLedger(days=self.config.days)
             prior_ledger = obs.set_dayledger(self._ledger)
+        completed = False
         try:
             result = self._run(resuming)
-            if self._sink is not None:
+            if self._sampler is not None:
+                # Stop before the final flush so the envelope lands in
+                # this run's telemetry (and sidecar counters settle).
+                obs.publish_resources(self._sampler.stop())
+            if self._sink is not None or self._progress is not None:
                 obs.event(
                     "runner.complete",
                     days=self.config.days,
                     rows=len(result.impressions),
                 )
+            if self._sink is not None:
                 obs.publish_metrics()
                 self._flush_telemetry()
+            completed = True
             return result
         finally:
             # On an exception (including an injected or real crash
             # surfacing as one) the un-flushed tail is dropped: the
             # durable telemetry stays whatever the last checkpoint
-            # flushed, mirroring the run state itself.
+            # flushed, mirroring the run state itself.  The sidecar, by
+            # contrast, *does* record the interruption -- that is its
+            # job -- and the sampler thread always stops.
+            if self._sampler is not None:
+                if self._sampler.running:
+                    self._sampler.stop()
+                self._sampler = None
+            if self._progress is not None:
+                if not completed:
+                    self._progress.mark("interrupted")
+                obs.remove_sink(self._progress)
+                self._progress = None
             if self._sink is not None:
                 obs.remove_sink(self._sink)
                 self._sink = None
@@ -245,6 +292,11 @@ class CheckpointRunner:
             return
         manifest.artifacts[DAYLEDGER_NAME] = sha256_bytes(text.encode("utf-8"))
 
+    def _set_resource_phase(self, name: str | None) -> None:
+        """Point the resource sampler's phase attribution, when active."""
+        if self._sampler is not None:
+            self._sampler.set_phase(name)
+
     def _flush_telemetry(self) -> None:
         """Flush the telemetry sink, degrading on persistent failure."""
         if self._sink is None:
@@ -287,6 +339,7 @@ class CheckpointRunner:
                 )
 
             if manifest.phase == "phase1":
+                self._set_resource_phase("phase1")
                 with obs.maybe_profile("phase1", self.run_dir):
                     summaries, market = self._run_phase1(engine, manifest)
             else:
@@ -307,9 +360,11 @@ class CheckpointRunner:
                         f"{self.manifest_path}: no RNG snapshot to resume from"
                     )
                 engine.set_rng_state(states)
+                self._set_resource_phase("phase3")
                 with obs.maybe_profile("phase3", self.run_dir):
                     chunks += self._run_phase3(engine, market, manifest)
                 self._faults.fire("finalize", runner=self)
+                self._set_resource_phase(None)
                 self._flush_ledger(manifest)
                 manifest.phase = "complete"
                 manifest.save(self.manifest_path)

@@ -97,6 +97,22 @@ _ACCOUNTS_PER_S = obs.gauge("population.accounts_per_s")
 POLICY_LEARNING_LAG_DAYS = 30.0
 
 
+def _day_throughput(days_done: int, days_total: int, elapsed: float) -> dict:
+    """Heartbeat throughput/ETA attrs from a phase's day progress.
+
+    ``{}`` when no time has elapsed yet (first heartbeat on a very
+    coarse clock) so the event simply omits the fields rather than
+    reporting an infinite rate.
+    """
+    if elapsed <= 0 or days_done <= 0:
+        return {}
+    rate = days_done / elapsed
+    return {
+        "days_per_sec": round(rate, 3),
+        "eta_s": round(max(0, days_total - days_done) / rate, 1),
+    }
+
+
 class SimulationEngine:
     """Orchestrates one full simulation run."""
 
@@ -470,6 +486,9 @@ class SimulationEngine:
                             summaries.append(summary)
                     if heartbeat and (day + 1) % heartbeat == 0:
                         elapsed = tracer.now() - phase_span.start
+                        throughput = _day_throughput(
+                            day + 1, config.days, elapsed
+                        )
                         if elapsed > 0:
                             _ACCOUNTS_PER_S.set(len(accounts) / elapsed)
                         obs.event(
@@ -477,6 +496,7 @@ class SimulationEngine:
                             phase="phase1",
                             day=day,
                             accounts=len(accounts),
+                            **throughput,
                         )
                     if on_day_complete is not None:
                         on_day_complete(day)
@@ -542,6 +562,9 @@ class SimulationEngine:
                             )
                         if heartbeat and (day + 1) % heartbeat == 0:
                             elapsed = tracer.now() - phase_span.start
+                            throughput = _day_throughput(
+                                day + 1, config.days, elapsed
+                            )
                             if elapsed > 0:
                                 _ACCOUNTS_PER_S.set(len(accounts) / elapsed)
                             obs.event(
@@ -549,6 +572,7 @@ class SimulationEngine:
                                 phase="phase1",
                                 day=day,
                                 accounts=len(accounts),
+                                **throughput,
                             )
                         if on_day_complete is not None:
                             on_day_complete(day)
@@ -704,10 +728,17 @@ class SimulationEngine:
                 if heartbeat and (day + 1) % heartbeat == 0:
                     elapsed = tracer.now() - phase_span.start
                     rows = _ROWS_EMITTED.value - rows_at_start
+                    throughput = _day_throughput(
+                        day + 1 - start_day, end_day - start_day, elapsed
+                    )
                     if elapsed > 0:
                         _ROWS_PER_S.set(rows / elapsed)
                     obs.event(
-                        "heartbeat", phase="phase3", day=day, rows=rows
+                        "heartbeat",
+                        phase="phase3",
+                        day=day,
+                        rows=rows,
+                        **throughput,
                     )
                 if on_day_complete is not None:
                     on_day_complete(day)

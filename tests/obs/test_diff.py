@@ -70,6 +70,7 @@ def make_run(
     ledger: DayLedger | None = None,
     validation_ok: tuple[str, ...] = ("fraud_share", "cpc"),
     validation_miss: tuple[str, ...] = (),
+    rss_peak_kb: float | None = None,
 ) -> Path:
     """Synthesize a minimal but complete run directory."""
     run_dir = root / name
@@ -83,6 +84,20 @@ def make_run(
         _span(3, 1, "phase3.auctions", dur=phase3_s),
         _metrics(counters or {"auction.rows_emitted": 100}),
     ]
+    if rss_peak_kb is not None:
+        events.append({
+            "t": 9.5,
+            "kind": "resources",
+            "data": {
+                "interval_s": 0.05,
+                "overall": {"samples": 3, "rss_peak_kb": rss_peak_kb,
+                            "rss_mean_kb": rss_peak_kb / 2, "cpu_s": 1.0,
+                            "wall_s": 1.0, "cpu_utilization": 1.0,
+                            "gc": {"collections": 0, "pause_total_s": 0.0,
+                                   "pause_max_s": 0.0}},
+                "phases": {},
+            },
+        })
     (run_dir / "telemetry.jsonl").write_text(
         "\n".join(json.dumps(e, separators=(",", ":")) for e in events) + "\n"
     )
@@ -290,3 +305,59 @@ class TestDegradedRule:
         diff = diff_runs(load_run(a), load_run(b))
         violations = evaluate_fail_on(diff, {"degraded": 0.0})
         assert violations and "telemetry" in violations[0]
+
+
+class TestRssRule:
+    def test_flat_memory_passes_tight_budget(self, tmp_path):
+        a = make_run(tmp_path, "a", rss_peak_kb=100_000.0)
+        b = make_run(tmp_path, "b", rss_peak_kb=100_000.0)
+        diff = diff_runs(load_run(a), load_run(b))
+        assert evaluate_fail_on(diff, parse_fail_on(["rss=0"])) == []
+
+    def test_growth_beyond_fraction_violates(self, tmp_path):
+        a = make_run(tmp_path, "a", rss_peak_kb=100_000.0)
+        b = make_run(tmp_path, "b", rss_peak_kb=110_000.0)  # +10%
+        diff = diff_runs(load_run(a), load_run(b))
+        violations = evaluate_fail_on(diff, {"rss": 0.05})
+        assert violations and "rss" in violations[0]
+        assert "peak RSS grew" in violations[0]
+        # The same growth fits inside a 15% budget.
+        assert evaluate_fail_on(diff, {"rss": 0.15}) == []
+
+    def test_shrinking_memory_never_violates(self, tmp_path):
+        a = make_run(tmp_path, "a", rss_peak_kb=110_000.0)
+        b = make_run(tmp_path, "b", rss_peak_kb=100_000.0)
+        diff = diff_runs(load_run(a), load_run(b))
+        assert evaluate_fail_on(diff, {"rss": 0.0}) == []
+
+    def test_both_sides_without_envelope_skip(self, tmp_path):
+        # Pre-sampler runs have no resources event: the rule cannot
+        # apply, so it skips instead of failing retroactively.
+        a = make_run(tmp_path, "a")
+        b = make_run(tmp_path, "b")
+        diff = diff_runs(load_run(a), load_run(b))
+        assert evaluate_fail_on(diff, {"rss": 0.0}) == []
+
+    def test_one_side_without_envelope_violates(self, tmp_path):
+        a = make_run(tmp_path, "a", rss_peak_kb=100_000.0)
+        b = make_run(tmp_path, "b")
+        diff = diff_runs(load_run(a), load_run(b))
+        violations = evaluate_fail_on(diff, {"rss": 0.0})
+        assert violations and "no resource envelope" in violations[0]
+
+    def test_parse_accepts_rss(self):
+        assert parse_fail_on(["rss=0.05"]) == {"rss": 0.05}
+
+    def test_render_diff_shows_peak_rss_line(self, tmp_path):
+        a = make_run(tmp_path, "a", rss_peak_kb=100_000.0)
+        b = make_run(tmp_path, "b", rss_peak_kb=110_000.0)
+        diff = diff_runs(load_run(a), load_run(b))
+        assert "peak RSS" in render_diff(diff)
+
+    def test_cli_rss_gate_exits_1_on_growth(self, tmp_path, capsys):
+        a = make_run(tmp_path, "a", rss_peak_kb=100_000.0)
+        b = make_run(tmp_path, "b", rss_peak_kb=150_000.0)
+        code = obs_main(["diff", str(a), str(b), "--fail-on", "rss=0.1"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "rss" in out

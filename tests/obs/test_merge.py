@@ -1,0 +1,253 @@
+"""Tests for the deterministic per-worker run-fragment merge."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main as obs_main
+from repro.obs.merge import MERGE_RECORD_NAME, MergeError, merge_runs
+from repro.obs.sink import TELEMETRY_NAME
+from repro.obs.timeseries import DAYLEDGER_NAME, DayLedger, load_rows
+
+
+def _span(span_id, name, parent=None, worker=None, dur=0.5):
+    event = {
+        "t": 1.0,
+        "kind": "span",
+        "name": name,
+        "id": span_id,
+        "parent": parent,
+        "start": 0.5,
+        "dur": dur,
+        "attrs": {},
+    }
+    if worker is not None:
+        event["w"] = worker
+    return event
+
+
+def _metrics(counters, t=9.0, worker=None):
+    event = {
+        "t": t,
+        "kind": "metrics",
+        "data": {"counters": counters, "gauges": {}, "histograms": {}},
+    }
+    if worker is not None:
+        event["w"] = worker
+    return event
+
+
+def _write_fragment(root, name, events, ledger=None):
+    frag = root / name
+    frag.mkdir(parents=True, exist_ok=True)
+    if events is not None:
+        (frag / TELEMETRY_NAME).write_text(
+            "\n".join(json.dumps(e, separators=(",", ":")) for e in events)
+            + "\n"
+        )
+    if ledger is not None:
+        ledger.flush(frag / DAYLEDGER_NAME)
+    return frag
+
+
+def _ledger(days=3, clicks=10.0, registrations=(5, 2)):
+    ledger = DayLedger(days=days)
+    for day in range(days):
+        ledger.record_registrations(day, *registrations)
+        ledger.begin_day(day)
+        ledger.record_auction_day(
+            day,
+            impressions=100.0,
+            clicks=clicks,
+            fraud_clicks=1.0,
+            spend=4.0,
+            fraud_spend=0.5,
+            rows=8,
+            auctions=4,
+            mainline_slots=6,
+        )
+    ledger.record_shutdown(1.5, "csr")
+    return ledger
+
+
+class TestIdentityMerge:
+    def test_single_fragment_copies_bytes_verbatim(self, tmp_path):
+        frag = _write_fragment(
+            tmp_path, "run-a",
+            [_span(1, "runner.run"), _metrics({"x": 1})],
+            ledger=_ledger(),
+        )
+        out = tmp_path / "merged"
+        record = merge_runs([frag], out)
+        assert (out / TELEMETRY_NAME).read_bytes() == (
+            frag / TELEMETRY_NAME
+        ).read_bytes()
+        assert (out / DAYLEDGER_NAME).read_bytes() == (
+            frag / DAYLEDGER_NAME
+        ).read_bytes()
+        assert record["workers"] == ["w0"]
+        assert json.loads((out / MERGE_RECORD_NAME).read_text()) == record
+
+
+class TestMultiWorkerTelemetry:
+    def _fragments(self, tmp_path):
+        a = _write_fragment(
+            tmp_path, "frag-a",
+            [_span(1, "runner.run", worker="w0"),
+             _span(2, "phase3.auctions", parent=1, worker="w0"),
+             _metrics({"rows": 10}, worker="w0")],
+        )
+        b = _write_fragment(
+            tmp_path, "frag-b",
+            [_span(1, "runner.run", worker="w1"),
+             _span(2, "phase3.auctions", parent=1, worker="w1"),
+             _metrics({"rows": 32}, t=11.0, worker="w1")],
+        )
+        return a, b
+
+    def test_merge_is_input_order_independent(self, tmp_path):
+        a, b = self._fragments(tmp_path)
+        merge_runs([a, b], tmp_path / "ab")
+        merge_runs([b, a], tmp_path / "ba")
+        assert (tmp_path / "ab" / TELEMETRY_NAME).read_bytes() == (
+            tmp_path / "ba" / TELEMETRY_NAME
+        ).read_bytes()
+        assert (tmp_path / "ab" / MERGE_RECORD_NAME).read_bytes() == (
+            tmp_path / "ba" / MERGE_RECORD_NAME
+        ).read_bytes()
+
+    def test_span_ids_offset_past_earlier_workers(self, tmp_path):
+        a, b = self._fragments(tmp_path)
+        merge_runs([b, a], tmp_path / "merged")
+        events = [
+            json.loads(line)
+            for line in (tmp_path / "merged" / TELEMETRY_NAME)
+            .read_text()
+            .splitlines()
+        ]
+        spans = [e for e in events if e["kind"] == "span"]
+        ids = [s["id"] for s in spans]
+        assert len(set(ids)) == len(ids)
+        w1_spans = [s for s in spans if s["w"] == "w1"]
+        # w0's max id is 2, so w1's spans moved to 3 and 4 with the
+        # parent pointer following.
+        assert [s["id"] for s in w1_spans] == [3, 4]
+        assert w1_spans[1]["parent"] == 3
+
+    def test_merged_metrics_snapshot_appended(self, tmp_path):
+        a, b = self._fragments(tmp_path)
+        merge_runs([a, b], tmp_path / "merged")
+        events = [
+            json.loads(line)
+            for line in (tmp_path / "merged" / TELEMETRY_NAME)
+            .read_text()
+            .splitlines()
+        ]
+        snapshots = [e for e in events if e["kind"] == "metrics"]
+        combined = snapshots[-1]
+        assert "w" not in combined
+        assert combined["data"]["counters"] == {"rows": 42}
+        assert combined["data"]["workers"] == ["w0", "w1"]
+        assert combined["t"] == 11.0
+
+    def test_untagged_fragments_get_positional_worker_ids(self, tmp_path):
+        a = _write_fragment(tmp_path, "frag-a", [_span(1, "runner.run")])
+        b = _write_fragment(tmp_path, "frag-b", [_span(1, "runner.run")])
+        record = merge_runs([b, a], tmp_path / "merged")
+        assert record["workers"] == ["w0", "w1"]
+        # Positional over directory-name order, not argument order.
+        assert [p.endswith(n) for p, n in zip(
+            record["inputs"], ("frag-a", "frag-b")
+        )] == [True, True]
+
+    def test_duplicate_worker_ids_refuse(self, tmp_path):
+        a = _write_fragment(
+            tmp_path, "frag-a", [_span(1, "runner.run", worker="w1")]
+        )
+        b = _write_fragment(
+            tmp_path, "frag-b", [_span(1, "runner.run", worker="w1")]
+        )
+        with pytest.raises(MergeError, match="duplicate worker ids"):
+            merge_runs([a, b], tmp_path / "merged")
+
+    def test_malformed_fragment_refuses_with_location(self, tmp_path):
+        frag = tmp_path / "frag-a"
+        frag.mkdir()
+        (frag / TELEMETRY_NAME).write_text("garbage\n")
+        with pytest.raises(MergeError, match=":1:"):
+            merge_runs([frag], tmp_path / "merged")
+
+
+class TestLedgerMerge:
+    def test_days_sum_and_derived_fields_recompute(self, tmp_path):
+        a = _write_fragment(
+            tmp_path, "frag-a",
+            [_span(1, "runner.run", worker="w0")],
+            ledger=_ledger(clicks=10.0),
+        )
+        b = _write_fragment(
+            tmp_path, "frag-b",
+            [_span(1, "runner.run", worker="w1")],
+            ledger=_ledger(clicks=30.0),
+        )
+        merge_runs([a, b], tmp_path / "merged")
+        rows = load_rows(tmp_path / "merged" / DAYLEDGER_NAME)
+        assert len(rows) == 3
+        day0 = rows[0]
+        assert day0["registrations_legit"] == 10
+        assert day0["clicks"] == 40.0
+        assert day0["spend"] == 8.0
+        assert day0["rows"] == 16
+        # Derived ratios recomputed from the sums, not averaged.
+        assert day0["mean_cpc"] == pytest.approx(8.0 / 40.0)
+        assert day0["fraud_click_share"] == pytest.approx(2.0 / 40.0)
+        assert day0["mainline_depth"] == pytest.approx(12 / 8)
+        assert rows[1]["shutdowns"] == {"csr": 2}
+
+    def test_ledger_merge_order_independent(self, tmp_path):
+        a = _write_fragment(
+            tmp_path, "frag-a", [_span(1, "r", worker="w0")],
+            ledger=_ledger(clicks=10.0),
+        )
+        b = _write_fragment(
+            tmp_path, "frag-b", [_span(1, "r", worker="w1")],
+            ledger=_ledger(clicks=30.0),
+        )
+        merge_runs([a, b], tmp_path / "ab")
+        merge_runs([b, a], tmp_path / "ba")
+        assert (tmp_path / "ab" / DAYLEDGER_NAME).read_bytes() == (
+            tmp_path / "ba" / DAYLEDGER_NAME
+        ).read_bytes()
+
+    def test_telemetry_only_fragments_skip_ledger(self, tmp_path):
+        a = _write_fragment(tmp_path, "frag-a", [_span(1, "r", worker="w0")])
+        b = _write_fragment(tmp_path, "frag-b", [_span(1, "r", worker="w1")])
+        record = merge_runs([a, b], tmp_path / "merged")
+        assert record["ledger_days"] == 0
+        assert not (tmp_path / "merged" / DAYLEDGER_NAME).exists()
+
+
+class TestMergeCli:
+    def test_cli_merges_and_reports(self, tmp_path, capsys):
+        a = _write_fragment(
+            tmp_path, "frag-a", [_span(1, "r", worker="w0")],
+            ledger=_ledger(),
+        )
+        b = _write_fragment(
+            tmp_path, "frag-b", [_span(1, "r", worker="w1")],
+            ledger=_ledger(),
+        )
+        out = tmp_path / "merged"
+        assert obs_main(
+            ["merge", str(a), str(b), "--out", str(out)]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "2 fragment(s)" in stdout
+        assert (out / TELEMETRY_NAME).exists()
+
+    def test_cli_missing_input_exits_2(self, tmp_path):
+        assert obs_main(
+            ["merge", str(tmp_path / "nope"), "--out", str(tmp_path / "out")]
+        ) == 2

@@ -1,0 +1,81 @@
+"""Tests for the opt-in cProfile hooks (``REPRO_PROFILE``)."""
+
+from __future__ import annotations
+
+import pstats
+
+import pytest
+
+from repro.config import small_config
+from repro.obs.profile import PROFILE_ENV, maybe_profile, profiling_enabled
+from repro.simulator.engine import SimulationEngine
+
+
+class TestProfilingEnabled:
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off", "OFF"])
+    def test_falsy_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv(PROFILE_ENV, value)
+        assert not profiling_enabled()
+
+    def test_unset_disables(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        assert not profiling_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "anything"])
+    def test_truthy_values_enable(self, monkeypatch, value):
+        monkeypatch.setenv(PROFILE_ENV, value)
+        assert profiling_enabled()
+
+
+class TestMaybeProfile:
+    def test_disabled_is_inert_and_writes_nothing(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        with maybe_profile("phase1", tmp_path) as profile:
+            assert profile is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_enabled_dumps_a_loadable_profile(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(PROFILE_ENV, "1")
+        with maybe_profile("phase1", tmp_path) as profile:
+            assert profile is not None
+            sum(range(1000))
+        dump = tmp_path / "phase1.prof"
+        assert dump.exists()
+        stats = pstats.Stats(str(dump))
+        assert stats.total_calls > 0
+
+    def test_enabled_creates_missing_directories(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(PROFILE_ENV, "1")
+        nested = tmp_path / "deep" / "run"
+        with maybe_profile("phase3", nested):
+            pass
+        assert (nested / "phase3.prof").exists()
+
+    def test_dump_lands_even_when_the_block_raises(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(PROFILE_ENV, "1")
+        with pytest.raises(RuntimeError):
+            with maybe_profile("phase1", tmp_path):
+                raise RuntimeError("simulated crash")
+        assert (tmp_path / "phase1.prof").exists()
+
+
+class TestProfilingDeterminism:
+    def test_profiled_run_is_bit_identical(self, monkeypatch, tmp_path):
+        # The profiler observes frames, never the named RNG streams: a
+        # profiled run must finish with identical serialized RNG states.
+        config = small_config(seed=13, days=20)
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        engine = SimulationEngine(config)
+        plain = engine.run()
+        plain_rng = engine.rng_state()
+
+        monkeypatch.setenv(PROFILE_ENV, "1")
+        engine = SimulationEngine(config)
+        with maybe_profile("whole-run", tmp_path):
+            profiled = engine.run()
+        assert engine.rng_state() == plain_rng
+        assert len(profiled.impressions) == len(plain.impressions)
+        assert profiled.detections == plain.detections
+        assert (tmp_path / "whole-run.prof").exists()

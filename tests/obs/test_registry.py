@@ -5,9 +5,12 @@ from __future__ import annotations
 import json
 
 from repro.obs.__main__ import main as obs_main
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressSink
 from repro.obs.registry import (
     RUNS_INDEX_NAME,
     index_runs,
+    live_status,
     load_validation,
     phase_totals,
     render_runs_table,
@@ -15,6 +18,17 @@ from repro.obs.registry import (
 )
 
 from .test_diff import make_run
+
+
+def _write_sidecar(run_dir, name, **attrs):
+    sink = ProgressSink(
+        run_dir,
+        days=attrs.pop("days", 100),
+        registry=MetricsRegistry(),
+        wall_clock=lambda: 1000.0,
+    )
+    sink.emit({"t": 1.0, "kind": "event", "name": name, "attrs": attrs})
+    return sink
 
 
 class TestSummarizeRun:
@@ -134,6 +148,61 @@ class TestPhaseTotals:
         assert totals["runner.run"] == 5.0
         assert totals["phase3.auctions"] == 3.5
         assert "not.a.phase" not in totals
+
+
+class TestLiveStatus:
+    def test_pre_sidecar_run_has_no_live_status(self, tmp_path):
+        run_dir = make_run(tmp_path, "a")
+        assert live_status(run_dir) is None
+        assert summarize_run(run_dir)["live"] is None
+
+    def test_running_sidecar_surfaces_progress(self, tmp_path):
+        run_dir = make_run(tmp_path, "a")
+        _write_sidecar(
+            run_dir, "heartbeat",
+            phase="phase3", day=49, days_per_sec=20.0, eta_s=2.5,
+        )
+        live = live_status(run_dir)
+        assert live["status"] == "running"
+        assert live["phase"] == "phase3"
+        assert live["day"] == 49
+        assert live["days"] == 100
+        assert live["eta_s"] == 2.5
+        assert live["degraded"] is False
+        assert summarize_run(run_dir)["live"] == live
+
+    def test_table_status_column_and_fallback_notice(self, tmp_path):
+        complete = make_run(tmp_path, "done")
+        _write_sidecar(complete, "runner.complete", days=100)
+        running = make_run(tmp_path, "live")
+        _write_sidecar(running, "heartbeat", phase="phase3", day=10,
+                       eta_s=30.0)
+        make_run(tmp_path, "old")  # pre-sidecar: no progress.json
+
+        table = render_runs_table(index_runs(tmp_path))
+        assert "status" in table
+        assert "complete" in table
+        assert "running" in table
+        assert "eta" in table
+        # The pre-sidecar run degrades to '-' plus a single notice.
+        assert "-" in table
+        assert "1 run(s) predate the progress sidecar" in table
+
+    def test_table_without_pre_sidecar_runs_has_no_notice(self, tmp_path):
+        run_dir = make_run(tmp_path, "a")
+        _write_sidecar(run_dir, "runner.complete", days=100)
+        table = render_runs_table(index_runs(tmp_path))
+        assert "predate the progress sidecar" not in table
+
+    def test_degraded_run_is_flagged_in_status(self, tmp_path):
+        run_dir = make_run(tmp_path, "a")
+        sink = _write_sidecar(run_dir, "runner.start", days=100)
+        sink.emit({"t": 2.0, "kind": "event", "name": "io.degraded",
+                   "attrs": {"artifact": "telemetry.jsonl", "error": "x"}})
+        live = live_status(run_dir)
+        assert live["degraded"] is True
+        table = render_runs_table(index_runs(tmp_path))
+        assert "running!" in table
 
 
 class TestRunsCli:

@@ -8,9 +8,12 @@ import pytest
 
 from repro.obs.__main__ import main as obs_main
 from repro.obs.report import (
+    REPORT_SCHEMA,
     aggregate_spans,
+    last_resources,
     load_events,
     render_report,
+    report_json,
     report_path,
 )
 
@@ -129,3 +132,90 @@ class TestReportCli:
     def test_render_report_mentions_source(self):
         text = render_report(self._sample_events(), source="RUNS/x")
         assert text.startswith("telemetry report: RUNS/x")
+
+
+def _resources_event():
+    stats = {
+        "samples": 4, "rss_peak_kb": 2048.0, "rss_mean_kb": 1024.0,
+        "cpu_s": 0.9, "wall_s": 1.0, "cpu_utilization": 0.9,
+        "gc": {"collections": 3, "pause_total_s": 0.01, "pause_max_s": 0.005},
+    }
+    return {
+        "t": 3.0,
+        "kind": "resources",
+        "data": {
+            "interval_s": 0.05,
+            "overall": stats,
+            "phases": {"phase1": dict(stats)},
+        },
+    }
+
+
+class TestResourcesSection:
+    def test_last_resources_returns_final_payload(self):
+        events = [_resources_event(), _resources_event()]
+        events[1]["data"]["overall"]["samples"] = 9
+        assert last_resources(events)["overall"]["samples"] == 9
+        assert last_resources([]) is None
+
+    def test_render_report_includes_resource_envelope(self):
+        text = render_report([_resources_event()])
+        assert "resources:" in text
+        assert "rss peak 2.0M" in text
+        assert "phase1" in text
+        assert "gc 3x" in text
+
+
+class TestReportJson:
+    def _events(self):
+        return [
+            _span(1, None, "run", dur=2.0),
+            _span(2, 1, "phase3.auctions", dur=1.5),
+            {"t": 2.0, "kind": "event", "name": "heartbeat",
+             "attrs": {"phase": "phase3", "day": 10}},
+            {"t": 2.5, "kind": "metrics",
+             "data": {"counters": {"rows": 5}, "gauges": {},
+                      "histograms": {}}},
+            _resources_event(),
+        ]
+
+    def test_document_covers_every_section(self):
+        doc = report_json(self._events(), source="RUNS/x")
+        assert doc["schema"] == REPORT_SCHEMA
+        assert doc["source"] == "RUNS/x"
+        assert doc["events"] == 5
+        paths = [s["path"] for s in doc["spans"]]
+        assert "run/phase3.auctions" in paths
+        assert doc["events_by_name"]["heartbeat"]["count"] == 1
+        assert doc["metrics"]["counters"] == {"rows": 5}
+        assert doc["resources"]["overall"]["rss_peak_kb"] == 2048.0
+
+    def test_span_aggregates_round(self):
+        doc = report_json([_span(1, None, "run", dur=1.0),
+                           _span(2, None, "run", dur=3.0)])
+        (record,) = doc["spans"]
+        assert record["count"] == 2
+        assert record["total_s"] == 4.0
+        assert record["mean_s"] == 2.0
+        assert record["max_s"] == 3.0
+
+    def test_cli_json_prints_document(self, tmp_path, capsys):
+        _write(tmp_path / "telemetry.jsonl", self._events())
+        assert obs_main(["report", str(tmp_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == REPORT_SCHEMA
+
+    def test_cli_json_out_writes_file(self, tmp_path, capsys):
+        _write(tmp_path / "telemetry.jsonl", self._events())
+        out = tmp_path / "report.json"
+        assert obs_main(
+            ["report", str(tmp_path), "--json", "--out", str(out)]
+        ) == 0
+        assert "wrote report" in capsys.readouterr().out
+        assert json.loads(out.read_text())["schema"] == REPORT_SCHEMA
+
+    def test_cli_out_without_json_is_an_error(self, tmp_path):
+        _write(tmp_path / "telemetry.jsonl", self._events())
+        assert obs_main(
+            ["report", str(tmp_path), "--out", str(tmp_path / "r.json")]
+        ) == 2

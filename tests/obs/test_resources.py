@@ -1,0 +1,129 @@
+"""Tests for the background resource sampler (RSS/CPU/GC envelopes)."""
+
+from __future__ import annotations
+
+import gc
+
+from repro.obs.resources import DEFAULT_INTERVAL_S, ResourceSampler, read_rss_kb
+
+
+class TestReadRss:
+    def test_reports_positive_resident_size(self):
+        assert read_rss_kb() > 0.0
+
+
+class TestSamplerLifecycle:
+    def test_start_stop_produces_summary(self):
+        sampler = ResourceSampler(interval_s=0.01)
+        sampler.start()
+        assert sampler.running
+        summary = sampler.stop()
+        assert not sampler.running
+        assert summary["interval_s"] == 0.01
+        overall = summary["overall"]
+        # start() and stop() each take one synchronous sample, so the
+        # envelope is populated even for an instant-long run.
+        assert overall["samples"] >= 2
+        assert overall["rss_peak_kb"] > 0.0
+        assert overall["rss_mean_kb"] > 0.0
+        assert overall["wall_s"] >= 0.0
+        assert set(overall["gc"]) == {
+            "collections", "pause_total_s", "pause_max_s",
+        }
+
+    def test_start_is_idempotent(self):
+        sampler = ResourceSampler(interval_s=0.01)
+        sampler.start()
+        thread = sampler._thread
+        sampler.start()
+        assert sampler._thread is thread
+        sampler.stop()
+
+    def test_stop_removes_gc_callback(self):
+        sampler = ResourceSampler(interval_s=0.01)
+        sampler.start()
+        assert sampler._on_gc in gc.callbacks
+        sampler.stop()
+        assert sampler._on_gc not in gc.callbacks
+
+    def test_interval_clamps_to_sane_floor(self):
+        assert ResourceSampler(interval_s=0.0).interval_s == 0.005
+        assert ResourceSampler().interval_s == DEFAULT_INTERVAL_S
+
+
+class TestPhaseAttribution:
+    def test_phases_accumulate_wall_and_cpu(self):
+        clock_value = [0.0]
+        sampler = ResourceSampler(
+            interval_s=60.0, clock=lambda: clock_value[0]
+        )
+        sampler.start()
+        sampler.set_phase("phase1")
+        clock_value[0] = 2.0
+        sampler.set_phase("phase3")
+        clock_value[0] = 5.0
+        summary = sampler.stop()
+        phases = summary["phases"]
+        assert set(phases) == {"phase1", "phase3"}
+        assert phases["phase1"]["wall_s"] == 2.0
+        assert phases["phase3"]["wall_s"] == 3.0
+        assert summary["overall"]["wall_s"] == 5.0
+
+    def test_set_phase_none_closes_without_opening(self):
+        sampler = ResourceSampler(interval_s=60.0)
+        sampler.start()
+        sampler.set_phase("phase1")
+        sampler.set_phase(None)
+        summary = sampler.stop()
+        assert list(summary["phases"]) == ["phase1"]
+
+    def test_reentering_a_phase_accumulates(self):
+        clock_value = [0.0]
+        sampler = ResourceSampler(
+            interval_s=60.0, clock=lambda: clock_value[0]
+        )
+        sampler.start()
+        sampler.set_phase("phase3")
+        clock_value[0] = 1.0
+        sampler.set_phase(None)
+        sampler.set_phase("phase3")
+        clock_value[0] = 3.0
+        summary = sampler.stop()
+        assert summary["phases"]["phase3"]["wall_s"] == 3.0
+
+
+class TestGcPauses:
+    def test_collections_are_timed_into_the_open_phase(self):
+        sampler = ResourceSampler(interval_s=60.0)
+        sampler.start()
+        sampler.set_phase("phase1")
+        gc.collect()
+        gc.collect()
+        summary = sampler.stop()
+        assert summary["overall"]["gc"]["collections"] >= 2
+        assert summary["phases"]["phase1"]["gc"]["collections"] >= 2
+        assert (
+            summary["overall"]["gc"]["pause_total_s"]
+            >= summary["overall"]["gc"]["pause_max_s"]
+        )
+
+
+class TestBackgroundThread:
+    def test_thread_samples_while_running(self):
+        import time
+
+        sampler = ResourceSampler(interval_s=0.005)
+        sampler.start()
+        time.sleep(0.08)
+        summary = sampler.stop()
+        # ~16 intervals elapsed; even a heavily loaded box lands a few.
+        assert summary["overall"]["samples"] >= 4
+
+    def test_summary_is_json_serializable(self):
+        import json
+
+        sampler = ResourceSampler(interval_s=0.01)
+        sampler.start()
+        sampler.set_phase("phase1")
+        summary = sampler.stop()
+        assert json.loads(json.dumps(summary)) == summary
