@@ -182,6 +182,43 @@ def _run_scalar_oracle(config) -> float:
     return time.perf_counter() - t0
 
 
+def _print_trend(history_path: Path) -> None:
+    """One line placing the just-appended row against its baseline.
+
+    Best-effort: the bench must never fail because the trend reader
+    choked on an old history layout.  Full tables (and the CI gate)
+    live in ``python -m repro.obs trend``.
+    """
+    from repro.obs.history import load_history, trend_report
+
+    try:
+        report = trend_report(load_history(history_path))
+    except (OSError, ValueError):
+        return
+    latest = next(
+        (
+            group
+            for group in report["groups"]
+            if f"{group['preset']}/days={group['days']}/seed={group['seed']}"
+            == report["latest_key"]
+        ),
+        None,
+    )
+    if latest is None:
+        return
+    total = latest["metrics"]["total_s"]
+    if total["regression"] is None:
+        print(
+            "trend: first measurement for this workload "
+            "(no baseline yet; gate with `python -m repro.obs trend`)"
+        )
+    else:
+        print(
+            f"trend: total {total['value']:.2f}s vs baseline median "
+            f"{total['baseline']:.2f}s ({total['regression']:+.1%})"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(prog="bench-engine", description=__doc__)
@@ -270,6 +307,7 @@ def main(argv: list[str] | None = None) -> int:
                 + "\n"
             )
         print(f"appended history -> {args.history_out}")
+        _print_trend(args.history_out)
     phases = record["phases"]
     print(
         f"population {phases['population_s']:.2f}s | "

@@ -15,7 +15,13 @@ simulation stack:
   cProfile dumps via ``REPRO_PROFILE=1``;
 * **reporting** -- ``python -m repro.obs report <run-dir>`` renders
   ``telemetry.jsonl`` into a phase-tree timing table and metric
-  summary (:mod:`~repro.obs.report`).
+  summary (:mod:`~repro.obs.report`);
+* **analysis** -- the read side: deterministic anomaly/change-point
+  detection over the day ledger (:mod:`~repro.obs.analyze`),
+  self-contained HTML dashboards (:mod:`~repro.obs.dash`), and
+  bench-history trend gating (:mod:`~repro.obs.history`), all via
+  ``python -m repro.obs analyze|dash|trend``.  None are imported here:
+  the write side stays import-light for the engine's hot path.
 
 The package-level functions (:func:`span`, :func:`event`,
 :func:`counter`, ...) operate on one process-global tracer and metrics

@@ -13,15 +13,20 @@
     python -m repro.obs runs show RUNS/x          # one run's summary
     python -m repro.obs diff RUNS/a RUNS/b        # compare two runs
     python -m repro.obs diff RUNS/a RUNS/b --fail-on drift=0,phase_time=0.25
+    python -m repro.obs analyze RUNS/x            # anomalies -> analyze.json
+    python -m repro.obs analyze RUNS/x --fail-on anomalies=0
+    python -m repro.obs dash RUNS/x               # -> RUNS/x/dashboard.html
+    python -m repro.obs dash RUNS/x --compare RUNS/y --out matrix.html
+    python -m repro.obs trend --fail-on total=0.25   # bench-history gate
 
-Reports go to stdout; diagnostics go to stderr via logging.  ``diff``
-exits 0 when every ``--fail-on`` rule holds, 1 on a violation, and 2
-when inputs are unreadable.  ``report`` and ``watch`` on a run with
-missing telemetry or sidecar print a notice and exit 0 -- absent
-telemetry is a normal state (``telemetry=False`` runs, pre-sidecar
-dirs), not an error.  ``export`` and ``merge`` exit 2 on unreadable
-inputs: they produce artifacts, so a silent no-op would masquerade as
-success.
+Reports go to stdout; diagnostics go to stderr via logging.  ``diff``,
+``analyze``, and ``trend`` exit 0 when every ``--fail-on`` rule holds,
+1 on a violation, and 2 when inputs are unreadable.  ``report`` and
+``watch`` on a run with missing telemetry or sidecar print a notice
+and exit 0 -- absent telemetry is a normal state (``telemetry=False``
+runs, pre-sidecar dirs), not an error.  ``export``, ``merge``,
+``analyze``, and ``dash`` exit 2 on unreadable inputs: they produce
+artifacts, so a silent no-op would masquerade as success.
 """
 
 from __future__ import annotations
@@ -184,6 +189,7 @@ def _cmd_runs(args: argparse.Namespace) -> int:
 
 def _cmd_diff(args: argparse.Namespace) -> int:
     from .diff import (
+        diff_json,
         diff_runs,
         evaluate_fail_on,
         load_run,
@@ -196,6 +202,9 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     except ValueError as exc:
         log.error("%s", exc)
         return 2
+    if args.out is not None and not args.json:
+        log.error("--out requires --json")
+        return 2
     try:
         data_a = load_run(args.run_a)
         data_b = load_run(args.run_b)
@@ -203,8 +212,124 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         log.error("%s", exc)
         return 2
     diff = diff_runs(data_a, data_b)
-    _print(render_diff(diff))
     violations = evaluate_fail_on(diff, rules)
+    if args.json:
+        document = diff_json(diff, rules=rules or None, violations=violations)
+        text = json.dumps(document, indent=2, sort_keys=True)
+        if args.out is not None:
+            from ..records.atomic import atomic_write_text
+
+            atomic_write_text(args.out, text + "\n")
+            _print(f"wrote diff -> {args.out}")
+        else:
+            _print(text)
+        return 1 if violations else 0
+    _print(render_diff(diff))
+    if violations:
+        _print("")
+        _print("FAIL:")
+        for violation in violations:
+            _print(f"  {violation}")
+        return 1
+    if rules:
+        _print("")
+        _print(f"ok: {len(rules)} rule(s) held")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from ..records.atomic import atomic_write_text
+    from .analyze import (
+        ANALYZE_NAME,
+        analysis_json,
+        analysis_to_text,
+        analyze_run,
+        evaluate_analyze_fail_on,
+        parse_analyze_fail_on,
+    )
+
+    try:
+        rules = parse_analyze_fail_on(args.fail_on)
+    except ValueError as exc:
+        log.error("%s", exc)
+        return 2
+    try:
+        document = analyze_run(args.run_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        log.error("%s", exc)
+        return 2
+    out = args.out
+    if out is None:
+        out = Path(args.run_dir) / ANALYZE_NAME
+    # The artifact never embeds gate results: its bytes depend only on
+    # the ledger, so re-running with different --fail-on rules (or none)
+    # leaves it byte-identical -- the determinism CI cmp-gates on.
+    atomic_write_text(out, analysis_json(document))
+    violations = evaluate_analyze_fail_on(document, rules)
+    if args.json:
+        # Keep stdout strictly the document; violations go to stderr
+        # (the exit code is the machine-readable verdict).
+        _print(json.dumps(document, indent=2, sort_keys=True))
+        for violation in violations:
+            log.error("FAIL: %s", violation)
+        return 1 if violations else 0
+    _print(analysis_to_text(document, source=args.run_dir))
+    _print("")
+    _print(f"wrote analysis -> {out}")
+    if violations:
+        _print("")
+        _print("FAIL:")
+        for violation in violations:
+            _print(f"  {violation}")
+        return 1
+    if rules:
+        _print(f"ok: {len(rules)} rule(s) held")
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from ..records.atomic import atomic_write_text
+    from .dash import DASHBOARD_NAME, render_compare, render_dashboard
+
+    try:
+        if args.compare:
+            html = render_compare([args.run_dir, *args.compare])
+        else:
+            html = render_dashboard(args.run_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        log.error("%s", exc)
+        return 2
+    out = args.out
+    if out is None:
+        out = Path(args.run_dir) / DASHBOARD_NAME
+    atomic_write_text(out, html)
+    kind = f"comparison ({1 + len(args.compare)} runs)" if args.compare else "dashboard"
+    _print(f"wrote {kind} -> {out}")
+    return 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    from .history import (
+        evaluate_trend_fail_on,
+        load_history,
+        parse_trend_fail_on,
+        render_trend,
+        trend_report,
+    )
+
+    try:
+        rules = parse_trend_fail_on(args.fail_on)
+    except ValueError as exc:
+        log.error("%s", exc)
+        return 2
+    try:
+        rows = load_history(args.history)
+    except (FileNotFoundError, ValueError) as exc:
+        log.error("%s", exc)
+        return 2
+    report = trend_report(rows, baseline_k=args.baseline_k)
+    _print(render_trend(report))
+    violations = evaluate_trend_fail_on(report, rules)
     if violations:
         _print("")
         _print("FAIL:")
@@ -342,7 +467,99 @@ def main(argv: list[str] | None = None) -> int:
             "(peak-RSS growth); repeatable or comma-separated"
         ),
     )
+    diff.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the diff as a JSON document (repro.diff/v1)",
+    )
+    diff.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="with --json: write the document here instead of stdout",
+    )
     diff.set_defaults(func=_cmd_diff)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="detect ledger anomalies/level shifts -> analyze.json",
+    )
+    analyze.add_argument(
+        "run_dir", type=Path, help="run directory containing dayledger.jsonl"
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="print the analysis document (repro.analyze/v1) to stdout",
+    )
+    analyze.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="where to write analyze.json (default: <run-dir>/analyze.json)",
+    )
+    analyze.add_argument(
+        "--fail-on",
+        action="append",
+        default=[],
+        metavar="RULE=N",
+        help=(
+            "gate rule(s): anomalies=N (unexplained point anomalies), "
+            "level_shifts=N (shifts away from policy days); repeatable "
+            "or comma-separated"
+        ),
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
+    dash = sub.add_parser(
+        "dash", help="render a self-contained HTML dashboard for a run"
+    )
+    dash.add_argument(
+        "run_dir", type=Path, help="checkpoint-runner run directory"
+    )
+    dash.add_argument(
+        "--compare",
+        type=Path,
+        nargs="+",
+        default=[],
+        metavar="RUN",
+        help="render a comparison matrix of this run vs. the given runs",
+    )
+    dash.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output path (default: <run-dir>/dashboard.html)",
+    )
+    dash.set_defaults(func=_cmd_dash)
+
+    trend = sub.add_parser(
+        "trend", help="benchmark-history trends and the perf CI gate"
+    )
+    trend.add_argument(
+        "--history",
+        type=Path,
+        default=Path("BENCH_history.jsonl"),
+        help="history JSONL path (default: BENCH_history.jsonl)",
+    )
+    trend.add_argument(
+        "--baseline-k",
+        type=int,
+        default=5,
+        help="prior rows per group the baseline median covers (default: 5)",
+    )
+    trend.add_argument(
+        "--fail-on",
+        action="append",
+        default=[],
+        metavar="RULE=FRAC",
+        help=(
+            "gate rule(s): phase=FRAC (any phase slower than baseline), "
+            "total=FRAC (total slower), throughput=FRAC (rows/s lower); "
+            "repeatable or comma-separated"
+        ),
+    )
+    trend.set_defaults(func=_cmd_trend)
 
     args = parser.parse_args(argv)
     setup_logging()

@@ -59,14 +59,18 @@ from .report import last_resources, load_events, report_path
 from .timeseries import DAYLEDGER_NAME, load_rows, policy_days, rows_to_series
 
 __all__ = [
+    "DIFF_SCHEMA",
     "RunData",
     "RunDiff",
     "load_run",
     "diff_runs",
+    "diff_json",
     "parse_fail_on",
     "evaluate_fail_on",
     "render_diff",
 ]
+
+DIFF_SCHEMA = "repro.diff/v1"
 
 #: Days on each side of a policy change over which window means are
 #: computed (four weeks -- matches the paper's quarter-scale framing of
@@ -388,6 +392,89 @@ def evaluate_fail_on(diff: RunDiff, rules: dict[str, float]) -> list[str]:
 # ----------------------------------------------------------------------
 # rendering
 # ----------------------------------------------------------------------
+
+
+def _validation_summary(data: RunData) -> dict | None:
+    if data.validation is None:
+        return None
+    return {
+        "passed": data.validation["passed"],
+        "total": data.validation["total"],
+        "miss": sorted(data.validation["miss"]),
+    }
+
+
+def diff_json(
+    diff: RunDiff,
+    rules: dict[str, float] | None = None,
+    violations: list[str] | None = None,
+) -> dict:
+    """The diff as a machine-readable document (``repro.diff/v1``).
+
+    Same content as :func:`render_diff` -- phase timings, counter
+    deltas, validation pass/miss, per-series divergence, policy-window
+    means, resource peaks, notes -- plus the evaluated ``--fail-on``
+    rules and their violations when a gate ran, so a CI consumer reads
+    one artifact instead of scraping stdout.
+    """
+    phases = {
+        name: {
+            "a": sec_a,
+            "b": sec_b,
+            "regression": (
+                sec_b / sec_a - 1.0 if sec_a and sec_b and sec_a > 0 else None
+            ),
+        }
+        for name, (sec_a, sec_b) in sorted(diff.phases.items())
+    }
+    policy_windows = {
+        str(day): {
+            name: {
+                "a": list(windows["a"]),
+                "b": list(windows["b"]),
+            }
+            for name, windows in sorted(per_series.items())
+        }
+        for day, per_series in sorted(diff.policy_windows.items())
+    }
+
+    def peak(data: RunData) -> float | None:
+        return ((data.resources or {}).get("overall") or {}).get(
+            "rss_peak_kb"
+        )
+
+    document = {
+        "schema": DIFF_SCHEMA,
+        "run_a": str(diff.a.path),
+        "run_b": str(diff.b.path),
+        "phases_s": phases,
+        "counter_deltas": {
+            name: {"a": va, "b": vb}
+            for name, (va, vb) in sorted(diff.counter_deltas.items())
+        },
+        "validation": {
+            "a": _validation_summary(diff.a),
+            "b": _validation_summary(diff.b),
+            "new_misses": list(diff.new_misses),
+        },
+        # inf (day-count mismatch, NaN series) is not valid JSON; keep
+        # the document strict-parseable for non-Python consumers.
+        "series_divergence": {
+            name: (divergence if math.isfinite(divergence) else "inf")
+            for name, divergence in sorted(diff.series_divergence.items())
+        },
+        "policy_windows": policy_windows,
+        "rss_peak_kb": {"a": peak(diff.a), "b": peak(diff.b)},
+        "chunk_formats": {
+            "a": diff.a.chunk_format,
+            "b": diff.b.chunk_format,
+        },
+        "notes": {"a": list(diff.a.notes), "b": list(diff.b.notes)},
+    }
+    if rules is not None:
+        document["fail_on"] = dict(sorted(rules.items()))
+        document["violations"] = list(violations or [])
+    return document
 
 
 def render_diff(diff: RunDiff, top_series: int = 12) -> str:

@@ -25,6 +25,7 @@ import json
 import re
 from pathlib import Path
 
+from .analyze import ANALYZE_NAME
 from .progress import load_progress
 from .report import aggregate_spans, load_events, report_path
 from .timeseries import DAYLEDGER_NAME, load_rows, policy_days, rows_to_series
@@ -160,6 +161,34 @@ def _ledger_summary(run_dir: Path) -> dict | None:
     }
 
 
+def _analysis_summary(run_dir: Path) -> dict | None:
+    """Condensed ``analyze.json`` totals, when the artifact exists.
+
+    Best-effort like every other section: a missing or unreadable
+    analysis (pre-analyzer run dirs) summarizes as ``None``, never an
+    error -- run ``python -m repro.obs analyze <run-dir>`` to create
+    it.
+    """
+    path = run_dir / ANALYZE_NAME
+    if not path.exists():
+        return None
+    try:
+        document = json.loads(path.read_text())
+        totals = document["totals"]
+        return {
+            "anomalies": int(totals["anomalies"]),
+            "unexplained_anomalies": int(totals["unexplained_anomalies"]),
+            "level_shifts": int(totals["level_shifts"]),
+        }
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+#: Post-hoc artifacts the index records the presence of (the read-side
+#: outputs: analysis document, dashboard page).
+_ARTIFACT_NAMES = (ANALYZE_NAME, "dashboard.html")
+
+
 def _bench_summary(run_dir: Path) -> dict | None:
     benches = sorted(run_dir.glob("BENCH*.json"))
     if not benches:
@@ -235,6 +264,10 @@ def summarize_run(run_dir: str | Path) -> dict | None:
         "live": live_status(run_dir),
         "validation": load_validation(run_dir),
         "ledger": _ledger_summary(run_dir),
+        "analysis": _analysis_summary(run_dir),
+        "artifacts": sorted(
+            name for name in _ARTIFACT_NAMES if (run_dir / name).exists()
+        ),
         "bench": _bench_summary(run_dir),
     }
     telemetry = report_path(run_dir)
@@ -294,7 +327,7 @@ def render_runs_table(index: dict) -> str:
         return f"no run directories under {index.get('root')}"
     header = (
         f"{'run':<24} {'phase':<9} {'seed':>10} {'days':>6} {'rows':>10} "
-        f"{'valid':>7} {'ledger':>7} {'status':<18}"
+        f"{'valid':>7} {'ledger':>7} {'anom':>6} {'status':<18}"
     )
     lines = [header, "-" * len(header)]
     pre_sidecar = 0
@@ -309,12 +342,20 @@ def render_runs_table(index: dict) -> str:
         live = run.get("live")
         if live is None:
             pre_sidecar += 1
+        analysis = run.get("analysis")
+        if analysis is None:
+            # No analyze.json yet: distinct from "analyzed, 0 found".
+            anom = "-"
+        elif analysis["unexplained_anomalies"]:
+            anom = f"{analysis['unexplained_anomalies']}!"
+        else:
+            anom = str(analysis["anomalies"])
         lines.append(
             f"{run['dir']:<24} {str(run.get('phase')):<9} "
             f"{str(run.get('seed')):>10} {str(run.get('days')):>6} "
             f"{run.get('rows', 0):>10} {valid:>7} "
             f"{(str(ledger['days']) + 'd') if ledger else '-':>7} "
-            f"{_status_cell(live):<18}"
+            f"{anom:>6} {_status_cell(live):<18}"
         )
     if pre_sidecar:
         lines.append(

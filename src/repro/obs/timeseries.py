@@ -310,11 +310,17 @@ class DayLedger:
 def load_rows(path: str | Path) -> list[dict]:
     """Parse a ``dayledger.jsonl`` file into per-day row dicts.
 
-    Raises ``ValueError`` naming the offending line on malformed
-    content (the atomic-flush protocol means a healthy file never
-    contains a torn line).
+    The atomic-flush protocol means a *durable* ledger never contains
+    a torn line -- but live readers (``watch``, ``analyze`` on a
+    still-running run) can race the whole-file rewrite and observe a
+    truncated or garbage tail.  Trailing malformed lines are therefore
+    skipped with one logged notice and the healthy prefix returned; a
+    malformed line *followed by* healthy rows cannot be a rewrite race
+    and still raises ``ValueError`` naming the offending line (that is
+    damage, and the run doctor's business).
     """
     rows: list[dict] = []
+    bad: list[str] = []
     for lineno, line in enumerate(
         Path(path).read_text().splitlines(), start=1
     ):
@@ -324,12 +330,22 @@ def load_rows(path: str | Path) -> list[dict]:
         try:
             row = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise ValueError(
-                f"{path}:{lineno}: malformed ledger line ({exc})"
-            ) from None
+            bad.append(f"{path}:{lineno}: malformed ledger line ({exc})")
+            continue
         if not isinstance(row, dict) or "day" not in row:
-            raise ValueError(f"{path}:{lineno}: not a ledger row")
+            bad.append(f"{path}:{lineno}: not a ledger row")
+            continue
+        if bad:
+            raise ValueError(bad[0])
         rows.append(row)
+    if bad:
+        from .logsetup import get_logger
+
+        get_logger("obs.timeseries").warning(
+            "%s; skipped %d trailing line(s) (mid-rewrite tail)",
+            bad[0],
+            len(bad),
+        )
     return rows
 
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import logging
 
 import numpy as np
 import pytest
@@ -26,6 +27,13 @@ def _no_leftover_ledger():
     obs.set_dayledger(None)
     yield
     obs.set_dayledger(None)
+
+
+@pytest.fixture
+def propagate_repro_logs(monkeypatch):
+    # The ``repro`` logger tree runs with propagate=False once its
+    # handler is attached; let records reach caplog's root handler.
+    monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
 
 
 class TestDayLedgerRows:
@@ -154,14 +162,53 @@ class TestSerialization:
         ledger.preload(tmp_path / "absent.jsonl", market_before=2)
         assert len(ledger.rows()) == 2
 
-    def test_load_rows_rejects_malformed_lines(self, tmp_path):
+    def test_load_rows_rejects_interior_malformed_lines(self, tmp_path):
+        # A malformed line *followed by* healthy rows cannot be a
+        # rewrite-race tail: that is damage and must raise.
         path = tmp_path / "dayledger.jsonl"
-        path.write_text('{"day":0}\nnot json\n')
+        path.write_text('{"day":0}\nnot json\n{"day":2}\n')
         with pytest.raises(ValueError, match=":2:"):
             load_rows(path)
-        path.write_text("[1,2]\n")
+        path.write_text('[1,2]\n{"day":1}\n')
         with pytest.raises(ValueError, match="not a ledger row"):
             load_rows(path)
+
+    def test_load_rows_skips_truncated_tail(
+        self, tmp_path, caplog, propagate_repro_logs
+    ):
+        # A live reader racing the atomic whole-file rewrite can see a
+        # torn final line; the healthy prefix loads with one notice.
+        path = tmp_path / "dayledger.jsonl"
+        path.write_text('{"day":0}\n{"day":1}\n{"day":2,"cli')
+        with caplog.at_level("WARNING", logger="repro.obs.timeseries"):
+            rows = load_rows(path)
+        assert [row["day"] for row in rows] == [0, 1]
+        notices = [r for r in caplog.records if "trailing" in r.getMessage()]
+        assert len(notices) == 1
+        assert "skipped 1 trailing line(s)" in notices[0].getMessage()
+
+    def test_load_rows_skips_garbage_tail_lines(
+        self, tmp_path, caplog, propagate_repro_logs
+    ):
+        # Several trailing bad lines (torn rewrite plus a partial row)
+        # still yield the healthy prefix and exactly one notice.
+        path = tmp_path / "dayledger.jsonl"
+        path.write_text('{"day":0}\n[1,2]\nnot json\n')
+        with caplog.at_level("WARNING", logger="repro.obs.timeseries"):
+            rows = load_rows(path)
+        assert [row["day"] for row in rows] == [0]
+        notices = [r for r in caplog.records if "trailing" in r.getMessage()]
+        assert len(notices) == 1
+        assert "skipped 2 trailing line(s)" in notices[0].getMessage()
+
+    def test_load_rows_all_garbage_returns_empty(
+        self, tmp_path, caplog, propagate_repro_logs
+    ):
+        path = tmp_path / "dayledger.jsonl"
+        path.write_text("not json\n")
+        with caplog.at_level("WARNING", logger="repro.obs.timeseries"):
+            assert load_rows(path) == []
+        assert any("trailing" in r.getMessage() for r in caplog.records)
 
     def test_rows_to_series_flattens_shutdown_stages(self):
         rows = self._populated().rows()

@@ -361,3 +361,76 @@ class TestRssRule:
         out = capsys.readouterr().out
         assert code == 1
         assert "rss" in out
+
+
+class TestDiffJson:
+    def test_schema_and_sections(self, tmp_path):
+        from repro.obs.diff import DIFF_SCHEMA, diff_json
+
+        a = make_run(tmp_path, "a", rss_peak_kb=100_000.0,
+                     ledger=_ledger(policy_day=2))
+        b = make_run(tmp_path, "b", rss_peak_kb=100_000.0,
+                     ledger=_ledger(policy_day=2))
+        document = diff_json(diff_runs(load_run(a), load_run(b)))
+        assert document["schema"] == DIFF_SCHEMA
+        assert document["run_a"] == str(a) and document["run_b"] == str(b)
+        assert document["phases_s"]["phase3.auctions"]["regression"] == 0.0
+        assert document["series_divergence"]["clicks"] == 0.0
+        assert "2" in document["policy_windows"]
+        # No rules requested: the gate keys stay out of the document.
+        assert "fail_on" not in document and "violations" not in document
+        json.dumps(document)  # strict JSON
+
+    def test_infinite_divergence_serializes_as_string(self, tmp_path):
+        from repro.obs.diff import diff_json
+
+        a = make_run(tmp_path, "a", ledger=_ledger(days=4))
+        b = make_run(tmp_path, "b", ledger=_ledger(days=6))
+        document = diff_json(diff_runs(load_run(a), load_run(b)))
+        assert document["series_divergence"]["__days__"] == "inf"
+        json.dumps(document)
+
+    def test_cli_json_stdout(self, tmp_path, capsys):
+        a = make_run(tmp_path, "a")
+        b = make_run(tmp_path, "b")
+        assert obs_main(["diff", str(a), str(b), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.diff/v1"
+
+    def test_cli_json_out_writes_file(self, tmp_path, capsys):
+        a = make_run(tmp_path, "a")
+        b = make_run(tmp_path, "b")
+        target = tmp_path / "diff.json"
+        code = obs_main(["diff", str(a), str(b), "--json", "--out", str(target)])
+        assert code == 0
+        assert f"wrote diff -> {target}" in capsys.readouterr().out
+        assert json.loads(target.read_text())["schema"] == "repro.diff/v1"
+
+    def test_cli_out_without_json_exits_2(self, tmp_path, capsys):
+        a = make_run(tmp_path, "a")
+        b = make_run(tmp_path, "b")
+        target = tmp_path / "diff.json"
+        assert obs_main(["diff", str(a), str(b), "--out", str(target)]) == 2
+        assert not target.exists()
+        capsys.readouterr()
+
+    def test_cli_json_violation_exits_1_and_embeds_gate(self, tmp_path, capsys):
+        a = make_run(tmp_path, "a", phase3_s=2.0)
+        b = make_run(tmp_path, "b", phase3_s=4.0)
+        code = obs_main(
+            ["diff", str(a), str(b), "--json", "--fail-on", "phase_time=0.25"]
+        )
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["fail_on"] == {"phase_time": 0.25}
+        assert document["violations"]
+        assert "phase3.auctions" in document["violations"][0]
+
+    def test_text_output_unchanged_by_json_flag_absence(self, tmp_path, capsys):
+        # The pre-existing text path still renders (no accidental JSON).
+        a = make_run(tmp_path, "a")
+        b = make_run(tmp_path, "b")
+        assert obs_main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("run diff: ")
+        assert "phase timings" in out

@@ -223,3 +223,62 @@ class TestRunsCli:
 
     def test_show_non_run_dir_exits_2(self, tmp_path):
         assert obs_main(["runs", "show", str(tmp_path)]) == 2
+
+
+class TestAnalysisSummary:
+    def _analyzed_run(self, tmp_path, name="a", unexplained=1):
+        run_dir = make_run(tmp_path, name)
+        (run_dir / "analyze.json").write_text(
+            json.dumps(
+                {
+                    "schema": "repro.analyze/v1",
+                    "totals": {
+                        "anomalies": 3,
+                        "unexplained_anomalies": unexplained,
+                        "level_shifts": 2,
+                    },
+                }
+            )
+        )
+        return run_dir
+
+    def test_summary_condenses_analyze_totals(self, tmp_path):
+        summary = summarize_run(self._analyzed_run(tmp_path))
+        assert summary["analysis"] == {
+            "anomalies": 3,
+            "unexplained_anomalies": 1,
+            "level_shifts": 2,
+        }
+
+    def test_unanalyzed_run_has_null_analysis(self, tmp_path):
+        summary = summarize_run(make_run(tmp_path, "a"))
+        assert summary["analysis"] is None
+        assert summary["artifacts"] == []
+
+    def test_corrupt_analysis_is_null(self, tmp_path):
+        run_dir = make_run(tmp_path, "a")
+        (run_dir / "analyze.json").write_text("not json")
+        assert summarize_run(run_dir)["analysis"] is None
+
+    def test_artifacts_recorded_in_index(self, tmp_path):
+        run_dir = self._analyzed_run(tmp_path)
+        (run_dir / "dashboard.html").write_text("<!DOCTYPE html>\n")
+        index = index_runs(tmp_path, out=tmp_path / RUNS_INDEX_NAME)
+        (entry,) = index["runs"]
+        assert entry["artifacts"] == ["analyze.json", "dashboard.html"]
+        persisted = json.loads((tmp_path / RUNS_INDEX_NAME).read_text())
+        assert persisted["runs"][0]["artifacts"] == [
+            "analyze.json",
+            "dashboard.html",
+        ]
+
+    def test_table_anom_column(self, tmp_path):
+        self._analyzed_run(tmp_path, "flagged", unexplained=2)
+        self._analyzed_run(tmp_path, "clean", unexplained=0)
+        make_run(tmp_path, "unanalyzed")
+        table = render_runs_table(index_runs(tmp_path))
+        assert "anom" in table.splitlines()[0]
+        row = {line.split()[0]: line for line in table.splitlines()[2:5]}
+        assert " 2! " in row["flagged"]
+        assert " 3 " in row["clean"]  # analyzed: total shown, no bang
+        assert " - " in row["unanalyzed"]
